@@ -1,0 +1,100 @@
+"""Ablations of the communication-avoiding design (DESIGN.md Sec. 5).
+
+Executable ablations (simulated cluster):
+* CA without the approximate nonlinear iteration — isolates Sec. 4.2.2;
+* CA without computation-communication overlap — isolates Sec. 4.3.1.
+
+Model-level ablation:
+* halo batching depth sweep — exchanging every r updates trades message
+  frequency against redundant halo computation; Algorithm 2's choice
+  r = 3M minimizes stencil communication time.
+"""
+import pytest
+
+from repro.constants import ModelParameters
+from repro.core.comm_avoiding import ca_rank_program
+from repro.core.distributed import DistributedConfig
+from repro.grid.decomposition import Decomposition
+from repro.grid.latlon import LatLonGrid
+from repro.physics import perturbed_rest_state
+from repro.simmpi import run_spmd
+
+
+def _run_variant(approximate_c: bool, overlap: bool):
+    grid = LatLonGrid(nx=32, ny=16, nz=8)
+    params = ModelParameters(
+        dt_adaptation=60.0, dt_advection=60.0, m_iterations=1
+    )
+    decomp = Decomposition(grid.nx, grid.ny, grid.nz, 1, 2, 2)
+    cfg = DistributedConfig(
+        grid=grid, decomp=decomp, params=params, nsteps=3,
+        ca_approximate_c=approximate_c, ca_overlap=overlap,
+    )
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+    return run_spmd(decomp.nranks, ca_rank_program, cfg, state0)
+
+
+def test_ablation_approximate_iteration(benchmark):
+    """Disabling the approximate iteration restores the 3M collective
+    frequency and increases collective time."""
+    def run_both():
+        return _run_variant(True, True), _run_variant(False, True)
+
+    with_approx, without_approx = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    c_with = with_approx.results[0].c_calls
+    c_without = without_approx.results[0].c_calls
+    print(f"\nC calls: with approximation {c_with}, without {c_without}")
+    benchmark.extra_info["c_calls_with"] = c_with
+    benchmark.extra_info["c_calls_without"] = c_without
+    # 2M + cold start vs 3M per step
+    assert c_without == 3 * 1 * 3
+    assert c_with == 2 * 1 * 3 + 1
+    t_with = max(s.collective_time for s in with_approx.stats)
+    t_without = max(s.collective_time for s in without_approx.stats)
+    assert t_with < t_without
+
+
+def test_ablation_overlap(benchmark):
+    """Disabling overlap exposes the full exchange latency: the stencil
+    waiting time grows, total simulated time grows, numerics unchanged."""
+    def run_both():
+        return _run_variant(True, True), _run_variant(True, False)
+
+    with_overlap, without_overlap = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    t_with = max(with_overlap.clocks)
+    t_without = max(without_overlap.clocks)
+    print(f"\nmakespan: overlap {t_with:.6f} s, no-overlap {t_without:.6f} s")
+    benchmark.extra_info["makespan_overlap"] = t_with
+    benchmark.extra_info["makespan_no_overlap"] = t_without
+    assert t_with < t_without
+    # identical numerics either way
+    a = with_overlap.results[0].state
+    b = without_overlap.results[0].state
+    assert a.max_difference(b) == 0.0
+
+
+def test_ablation_halo_batching_depth(benchmark, paper_model):
+    """Stencil-communication time vs batching depth at p = 1024: deeper
+    batching monotonically reduces projected stencil comm time, with
+    Algorithm 2's r = 3M the cheapest."""
+    M = paper_model.params.m_iterations
+    depths = [1, 3, 2 * M, 3 * M]
+
+    def sweep():
+        return {r: paper_model.ca_stencil_time_batched(1024, r) for r in depths}
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for r, t in times.items():
+        print(f"batch depth {r:>2}: projected stencil comm {t:>10.0f} s")
+    benchmark.extra_info["stencil_time_by_depth"] = {
+        str(k): round(v) for k, v in times.items()
+    }
+    assert times[3 * M] < times[3] < times[1]
+
+    with pytest.raises(ValueError):
+        paper_model.ca_stencil_time_batched(1024, 0)

@@ -1,0 +1,105 @@
+"""Collective-implementation ablations (Thakur et al. 2005, ref. [19]).
+
+Compares, on the executed cores:
+
+* the ``C`` operator via allgather (column replication) vs exscan +
+  allreduce (volume-optimal, the Theorem 4.2 ring constant);
+* the X-Y polar filter via allgather (replicated FFT) vs alltoall
+  transpose (work-sharing).
+
+Numerics must agree across variants; the accounting differences are the
+deliverable.
+"""
+import numpy as np
+
+from repro.constants import ModelParameters
+from repro.core.distributed import DistributedConfig, original_rank_program
+from repro.grid.decomposition import Decomposition
+from repro.grid.latlon import LatLonGrid
+from repro.physics import perturbed_rest_state
+from repro.simmpi import run_spmd
+from repro.state.variables import ModelState
+
+
+def _gather(decomp, results):
+    blocks = [r.state for r in results]
+    return ModelState(
+        U=decomp.gather([b.U for b in blocks]),
+        V=decomp.gather([b.V for b in blocks]),
+        Phi=decomp.gather([b.Phi for b in blocks]),
+        psa=decomp.gather([b.psa for b in blocks]),
+    )
+
+
+def test_c_method_ablation(benchmark):
+    grid = LatLonGrid(nx=32, ny=16, nz=8)
+    params = ModelParameters(dt_adaptation=60.0, dt_advection=180.0)
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+    decomp = Decomposition(grid.nx, grid.ny, grid.nz, 1, 2, 4)
+
+    def run_both():
+        out = {}
+        for method in ("allgather", "scan"):
+            cfg = DistributedConfig(
+                grid=grid, decomp=decomp, params=params, nsteps=2,
+                c_method=method,
+            )
+            out[method] = run_spmd(
+                decomp.nranks, original_rank_program, cfg, state0
+            )
+        return out
+
+    out = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    for method, res in out.items():
+        bytes_ = max(s.collective_bytes for s in res.stats)
+        ops = max(s.collective_ops for s in res.stats)
+        print(f"C via {method:>9}: {ops:>3} collective ops, "
+              f"{bytes_:>9} modelled bytes")
+        benchmark.extra_info[f"{method}_bytes"] = bytes_
+        benchmark.extra_info[f"{method}_ops"] = ops
+    # identical numerics
+    a = _gather(decomp, out["allgather"].results)
+    b = _gather(decomp, out["scan"].results)
+    assert a.max_difference(b) < 1e-10
+    # the scan variant moves strictly fewer bytes
+    assert (
+        max(s.collective_bytes for s in out["scan"].stats)
+        < max(s.collective_bytes for s in out["allgather"].stats)
+    )
+
+
+def test_filter_method_ablation(benchmark):
+    grid = LatLonGrid(nx=32, ny=16, nz=8)
+    params = ModelParameters(dt_adaptation=60.0, dt_advection=180.0)
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+    decomp = Decomposition(grid.nx, grid.ny, grid.nz, 4, 2, 1)
+
+    def run_both():
+        out = {}
+        for method in ("allgather", "transpose"):
+            cfg = DistributedConfig(
+                grid=grid, decomp=decomp, params=params, nsteps=2,
+                filter_method=method,
+            )
+            out[method] = run_spmd(
+                decomp.nranks, original_rank_program, cfg, state0
+            )
+        return out
+
+    out = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    for method, res in out.items():
+        compute = sum(s.compute_time for s in res.stats)
+        ops = max(s.collective_ops for s in res.stats)
+        print(f"filter via {method:>9}: {ops:>3} collective ops, "
+              f"total compute {compute:.6f} s")
+        benchmark.extra_info[f"{method}_compute_s"] = compute
+    a = _gather(decomp, out["allgather"].results)
+    b = _gather(decomp, out["transpose"].results)
+    assert a.max_difference(b) < 1e-10
+    # transpose shares the FFT work
+    assert (
+        sum(s.compute_time for s in out["transpose"].stats)
+        < sum(s.compute_time for s in out["allgather"].stats)
+    )

@@ -1,0 +1,96 @@
+"""Executed strong scaling: the real cores over a rank sweep.
+
+Unlike the model-based figure benches, this actually runs the simulated
+cluster at 2/4/8 ranks and checks that the logical-clock makespan
+decreases with more ranks for the communication-avoiding core (on a
+communication-light machine where compute dominates, strong scaling must
+be visible even at toy sizes).
+"""
+import pytest
+
+from repro.constants import ModelParameters
+from repro.core.comm_avoiding import ca_rank_program
+from repro.core.distributed import DistributedConfig, original_rank_program
+from repro.grid.decomposition import Decomposition
+from repro.grid.latlon import LatLonGrid
+from repro.physics import perturbed_rest_state
+from repro.simmpi import run_spmd
+
+
+def _run(program, decomp, grid, params, state0, nsteps=2):
+    cfg = DistributedConfig(
+        grid=grid, decomp=decomp, params=params, nsteps=nsteps,
+    )
+    return run_spmd(decomp.nranks, program, cfg, state0)
+
+
+def test_executed_strong_scaling(benchmark):
+    grid = LatLonGrid(nx=64, ny=32, nz=8)
+    params = ModelParameters(
+        dt_adaptation=60.0, dt_advection=60.0, m_iterations=1
+    )
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+    decomps = {
+        1: Decomposition(64, 32, 8, 1, 1, 1),
+        2: Decomposition(64, 32, 8, 1, 2, 1),
+        4: Decomposition(64, 32, 8, 1, 2, 2),
+        8: Decomposition(64, 32, 8, 1, 4, 2),
+    }
+
+    def sweep():
+        out = {}
+        for p, d in decomps.items():
+            res = _run(original_rank_program, d, grid, params, state0)
+            out[p] = max(res.clocks)
+        return out
+
+    makespans = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    base = makespans[1]
+    for p, t in makespans.items():
+        print(f"p={p}: makespan {t:.6f} s  speedup {base / t:.2f}  "
+              f"efficiency {base / t / p:.2f}")
+        benchmark.extra_info[f"makespan_p{p}"] = t
+    # the original core must strong-scale on the compute-dominated toy
+    assert makespans[8] < makespans[2] < makespans[1]
+
+
+def test_executed_ca_vs_original_scaling(benchmark):
+    """At every rank count the executed CA core sends fewer messages and
+    spends less logical time waiting on stencil exchanges."""
+    grid = LatLonGrid(nx=64, ny=32, nz=8)
+    params = ModelParameters(
+        dt_adaptation=60.0, dt_advection=60.0, m_iterations=1
+    )
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+    decomps = [
+        Decomposition(64, 32, 8, 1, 2, 1),
+        Decomposition(64, 32, 8, 1, 2, 2),
+        Decomposition(64, 32, 8, 1, 4, 2),
+    ]
+
+    def sweep():
+        rows = []
+        for d in decomps:
+            r_or = _run(original_rank_program, d, grid, params, state0)
+            r_ca = _run(ca_rank_program, d, grid, params, state0)
+            rows.append(
+                (
+                    d.nranks,
+                    sum(s.p2p_messages_sent for s in r_or.stats),
+                    sum(s.p2p_messages_sent for s in r_ca.stats),
+                    max(s.tagged_time.get("stencil_comm", 0.0)
+                        for s in r_or.stats),
+                    max(s.tagged_time.get("stencil_comm", 0.0)
+                        for s in r_ca.stats),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for p, m_or, m_ca, t_or, t_ca in rows:
+        print(f"p={p}: messages {m_or} -> {m_ca}   "
+              f"stencil wait {t_or:.6f} -> {t_ca:.6f} s")
+        assert m_ca < m_or
+        assert t_ca <= t_or

@@ -1,0 +1,24 @@
+"""Figure 1: communication vs computation share of the dycore runtime.
+
+Regenerates the percentages for the original algorithm at paper scale and
+checks the figure's message: communication dominates.
+"""
+from repro.bench.harness import fig1_comm_fraction
+from repro.perf.model import PAPER_PROC_SWEEP
+
+from conftest import record_series
+
+
+def test_fig1_comm_fraction(benchmark, paper_model):
+    fig = benchmark(fig1_comm_fraction, PAPER_PROC_SWEEP, paper_model)
+    record_series(benchmark, fig)
+    print()
+    print(fig.render())
+
+    # the figure's claim: communication dominates the runtime
+    for alg in ("original-xy", "original-yz"):
+        comm = fig.series[f"{alg} comm%"]
+        assert all(c > 35.0 for c in comm), alg
+    yz = fig.series["original-yz comm%"]
+    assert yz == sorted(yz)  # share grows with p
+    assert yz[-1] > 90.0     # thoroughly communication-bound at 1024

@@ -1,0 +1,29 @@
+"""Figure 6: time for collective communication.
+
+Shape claims: the X-Y decomposition's Fourier-filter collective is far
+more expensive than the Y-Z z-summation (Sec. 4.2.1's reason for choosing
+Y-Z), and the communication-avoiding algorithm gains ~1.4x on average over
+the Y-Z original by removing one third of the summations (Sec. 4.2.2).
+"""
+from repro.bench.harness import fig6_collective_time
+from repro.perf.model import PAPER_PROC_SWEEP
+
+from conftest import record_series
+
+
+def test_fig6_collective_time(benchmark, paper_model):
+    fig = benchmark(fig6_collective_time, PAPER_PROC_SWEEP, paper_model)
+    record_series(benchmark, fig)
+    print()
+    print(fig.render())
+
+    xy = fig.series["original-xy"]
+    yz = fig.series["original-yz"]
+    ca = fig.series["ca"]
+    # X-Y's filter collective dwarfs Y-Z's summation at every p
+    assert all(x > y for x, y in zip(xy, yz))
+    # CA speedup vs the Y-Z original: ~1.4x on average (paper: 1.4x)
+    ratios = [y / c for y, c in zip(yz, ca)]
+    avg = sum(ratios) / len(ratios)
+    benchmark.extra_info["ca_vs_yz_speedup_avg"] = round(avg, 3)
+    assert 1.25 < avg < 1.55

@@ -1,0 +1,32 @@
+"""Figure 7: communication time of the stencil computation.
+
+Shape claims (Sec. 5.2): X-Y's stencil volume is the smallest of the
+originals (n_x >> n_y, n_z); the CA algorithm needs slightly more volume
+than the Y-Z original but cuts the frequency 13 -> 2 and overlaps, giving
+3x-6x (avg 3.9x) speedup; at p = 1024 the paper reports 17,400 s -> 2,800 s.
+"""
+from repro.bench.harness import fig7_stencil_time
+from repro.perf.model import PAPER_PROC_SWEEP
+
+from conftest import record_series
+
+
+def test_fig7_stencil_time(benchmark, paper_model):
+    fig = benchmark(fig7_stencil_time, PAPER_PROC_SWEEP, paper_model)
+    record_series(benchmark, fig)
+    print()
+    print(fig.render())
+
+    xy = fig.series["original-xy"]
+    yz = fig.series["original-yz"]
+    ca = fig.series["ca"]
+    # X-Y stencil < Y-Z stencil (volume argument of Sec. 5.2)
+    assert all(x < y for x, y in zip(xy, yz))
+    # CA speedup vs Y-Z: 3x-6x range, ~3.9x average
+    ratios = [y / c for y, c in zip(yz, ca)]
+    avg = sum(ratios) / len(ratios)
+    benchmark.extra_info["ca_vs_yz_speedup_avg"] = round(avg, 3)
+    assert all(2.5 < r < 6.5 for r in ratios)
+    assert 3.3 < avg < 4.5
+    # the paper's p = 1024 anchor: 17,400 s for Y-Z
+    assert abs(yz[-1] - 17_400) / 17_400 < 0.25

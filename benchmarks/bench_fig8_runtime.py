@@ -1,0 +1,36 @@
+"""Figure 8: total runtime of the dynamical core (10 model years).
+
+Shape claims: CA fastest at every process count; ~54% total reduction vs
+X-Y at p = 512 (the paper's "at most" point); ~113,500 s and ~46,300 s
+saved vs X-Y and Y-Z at p = 1024.
+"""
+from repro.bench.harness import fig8_total_runtime
+from repro.perf.model import PAPER_PROC_SWEEP
+
+from conftest import record_series
+
+
+def test_fig8_total_runtime(benchmark, paper_model):
+    fig = benchmark(fig8_total_runtime, PAPER_PROC_SWEEP, paper_model)
+    record_series(benchmark, fig)
+    print()
+    print(fig.render())
+
+    xy = fig.series["original-xy"]
+    yz = fig.series["original-yz"]
+    ca = fig.series["ca"]
+    assert all(c < y for c, y in zip(ca, yz))
+    assert all(c < x for c, x in zip(ca, xy))
+
+    i512 = PAPER_PROC_SWEEP.index(512)
+    reduction_512 = 1.0 - ca[i512] / xy[i512]
+    benchmark.extra_info["reduction_vs_xy_at_512"] = round(reduction_512, 3)
+    assert abs(reduction_512 - 0.54) < 0.05
+
+    i1024 = PAPER_PROC_SWEEP.index(1024)
+    saved_xy = xy[i1024] - ca[i1024]
+    saved_yz = yz[i1024] - ca[i1024]
+    benchmark.extra_info["saved_vs_xy_1024_s"] = round(saved_xy)
+    benchmark.extra_info["saved_vs_yz_1024_s"] = round(saved_yz)
+    assert abs(saved_xy - 113_500) / 113_500 < 0.15
+    assert abs(saved_yz - 46_300) / 46_300 < 0.15

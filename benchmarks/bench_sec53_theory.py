@@ -1,0 +1,43 @@
+"""Section 5.3: the asymptotic W (communication) and S (latency) costs.
+
+Evaluates the Theta-expressions at paper scale and asserts the orderings
+``W_XY >> W_YZ > W_CA`` and ``S_XY > S_YZ > S_CA``.
+"""
+from repro.analysis.lower_bounds import section53_costs
+from repro.grid.decomposition import xy_decomposition, yz_decomposition
+from repro.grid.latlon import paper_grid
+from repro.perf.model import PAPER_PROC_SWEEP
+
+
+def _evaluate():
+    g = paper_grid()
+    rows = []
+    for p in PAPER_PROC_SWEEP:
+        dyz = yz_decomposition(g.nx, g.ny, g.nz, p)
+        dxy = xy_decomposition(g.nx, g.ny, g.nz, p)
+        row = {"p": p}
+        for alg, d in (("ca", dyz), ("yz", dyz), ("xy", dxy)):
+            c = section53_costs(alg, g.nx, g.ny, g.nz, d.px, d.py, d.pz)
+            row[f"W_{alg}"] = c.W
+            row[f"S_{alg}"] = c.S
+        rows.append(row)
+    return rows
+
+
+def test_sec53_costs(benchmark):
+    rows = benchmark(_evaluate)
+    print()
+    print(f"{'p':>6} {'W_ca':>12} {'W_yz':>12} {'W_xy':>12} "
+          f"{'S_ca':>6} {'S_yz':>6} {'S_xy':>6}")
+    for r in rows:
+        print(f"{r['p']:>6} {r['W_ca']:>12.0f} {r['W_yz']:>12.0f} "
+              f"{r['W_xy']:>12.0f} {r['S_ca']:>6.0f} {r['S_yz']:>6.0f} "
+              f"{r['S_xy']:>6.0f}")
+        # the Sec. 5.3 orderings at every process count
+        assert r["W_xy"] > r["W_yz"] > r["W_ca"]
+        assert r["S_xy"] > r["S_yz"] > r["S_ca"]
+        # the exact frequency ratio of the approximate iteration
+        assert abs(r["W_yz"] / r["W_ca"] - 1.5) < 1e-9
+    benchmark.extra_info["rows"] = [
+        {k: round(v, 1) for k, v in r.items()} for r in rows
+    ]

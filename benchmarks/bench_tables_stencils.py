@@ -1,0 +1,83 @@
+"""Tables 1-3: stencil footprints — declared tables + measured probes.
+
+The timed payload is the automatic footprint probing of the real
+operators; the assertion is the containment contract of DESIGN.md.
+"""
+import numpy as np
+
+from repro.constants import ModelParameters
+from repro.core.tendencies import TendencyEngine
+from repro.grid.latlon import LatLonGrid
+from repro.grid.sigma import SigmaLevels
+from repro.operators.footprint import probe_footprint
+from repro.operators.geometry import WorkingGeometry
+from repro.operators.smoothing import p1, p2
+from repro.operators.stencil_meta import (
+    ADAPTATION_RADII,
+    TABLE3_SMOOTHING,
+    render_table,
+    TABLE1_ADAPTATION,
+    TABLE2_ADVECTION,
+)
+from repro.state.variables import ModelState
+
+
+def _probe_all():
+    grid = LatLonGrid(nx=24, ny=16, nz=8)
+    sigma = SigmaLevels.uniform(grid.nz)
+    geom = WorkingGeometry.build_global(grid, sigma, gy=3, gz=0)
+    engine = TendencyEngine(geom, ModelParameters())
+    base = ModelState.zeros(geom.shape3d)
+    nz_w, ny_w, nx = geom.shape3d
+    k, j, i = np.meshgrid(
+        np.arange(nz_w), np.arange(ny_w), np.arange(nx), indexing="ij"
+    )
+    smooth = 0.05 * np.sin(0.4 * i + 0.3 * j + 0.5 * k)
+    base.U[:] = 1.0 + smooth
+    base.V[:] = 0.5 + 0.5 * smooth
+    base.Phi[:] = 2.0 + smooth
+    base.psa[:] = 100.0 * smooth[0]
+    vd = engine.vertical(base)
+
+    results = {}
+    from repro.operators.adaptation import adaptation_tendency
+
+    def op_adapt(arr):
+        s = base.copy()
+        s.Phi[...] = arr
+        return adaptation_tendency(s, vd, geom, engine.params).V
+
+    results["adaptation Phi->V"] = probe_footprint(op_adapt, geom.shape3d)
+    results["smoothing P1"] = probe_footprint(
+        lambda a: p1(a, 0.1), (4, 10, 12)
+    )
+    results["smoothing P2"] = probe_footprint(
+        lambda a: p2(a, 0.1), (4, 12, 12)
+    )
+    return results
+
+
+def test_tables_footprints(benchmark):
+    results = benchmark(_probe_all)
+    print()
+    print(render_table(TABLE1_ADAPTATION, "Table 1 (declared)"))
+    print()
+    print(render_table(TABLE2_ADVECTION, "Table 2 (declared)"))
+    print()
+    print(render_table(TABLE3_SMOOTHING, "Table 3 (declared)"))
+    print()
+    for name, fp in results.items():
+        print(f"measured {name}: x={fp.x} y={fp.y} z={fp.z}")
+        benchmark.extra_info[name] = {
+            "x": list(fp.x), "y": list(fp.y), "z": list(fp.z)
+        }
+
+    rx, ry, rz = results["adaptation Phi->V"].radii
+    assert rx <= ADAPTATION_RADII[0]
+    assert ry <= ADAPTATION_RADII[1]
+    assert rz <= ADAPTATION_RADII[2]
+    # the smoothing footprints are fully specified: exact match
+    p1_entry = TABLE3_SMOOTHING[0]
+    assert set(results["smoothing P1"].x) == set(p1_entry.x)
+    p2_entry = TABLE3_SMOOTHING[1]
+    assert set(results["smoothing P2"].y) == set(p2_entry.y)

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Two classes of benchmark:
+
+* ``bench_fig*`` — regenerate a paper figure/table; the *timed* callable
+  is the regeneration itself, and the figure data (the actual deliverable)
+  is attached as ``extra_info`` and asserted against the paper's shape
+  claims.
+* ``bench_execution`` / ``bench_ablation`` — time the executable cores on
+  the simulated cluster and record the logical-clock decomposition.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.latlon import paper_grid
+from repro.perf.model import PerformanceModel
+
+
+@pytest.fixture(scope="session")
+def paper_model() -> PerformanceModel:
+    """The calibrated projection model at paper scale (10 model years)."""
+    return PerformanceModel(paper_grid())
+
+
+def record_series(benchmark, fig) -> None:
+    """Attach a FigureSeries' data to the benchmark record."""
+    benchmark.extra_info["figure"] = fig.figure
+    benchmark.extra_info["unit"] = fig.unit
+    benchmark.extra_info["procs"] = fig.procs
+    for name, values in fig.series.items():
+        benchmark.extra_info[name] = [round(v, 2) for v in values]

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Algorithm 2 vs Algorithm 1, end to end.
+
+Runs the communication-avoiding core and the Y-Z original side by side on
+the simulated cluster, and reports:
+
+* the communication schedule (exchanges and C-collectives per step — the
+  13 -> 2 and 3M -> 2M reductions);
+* the logical-clock communication times;
+* the numerical deviation introduced by the approximate nonlinear
+  iteration (Sec. 4.2.2), compared with the serial exact reference.
+
+Usage::
+
+    python examples/ca_vs_original.py [--steps 4] [--nprocs 4]
+"""
+import argparse
+
+from repro.constants import ModelParameters
+from repro.core import DynamicalCore, SerialCore
+from repro.grid import LatLonGrid
+from repro.physics import HeldSuarezForcing, perturbed_rest_state
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=4)
+    parser.add_argument("--nprocs", type=int, default=4)
+    parser.add_argument("--m", type=int, default=1,
+                        help="nonlinear iterations per step (paper: 3; "
+                        "small blocks need small M for the wide halos)")
+    args = parser.parse_args()
+
+    grid = LatLonGrid(nx=32, ny=16, nz=8)
+    params = ModelParameters(
+        dt_adaptation=60.0, dt_advection=60.0 * args.m, m_iterations=args.m
+    )
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+    forcing = HeldSuarezForcing()
+
+    exact = SerialCore(grid, params=params, forcing=forcing).run(
+        state0, args.steps
+    )
+
+    print(f"{grid}, {args.nprocs} ranks, {args.steps} steps, M={args.m}\n")
+    print(f"{'algorithm':>13} {'exch/step':>10} {'C-calls':>8} "
+          f"{'msgs':>7} {'stencil[ms]':>12} {'collect[ms]':>12} "
+          f"{'max err vs exact':>17}")
+    for alg in ("original-yz", "ca"):
+        core = DynamicalCore(
+            grid, algorithm=alg, nprocs=args.nprocs, params=params,
+            forcing=forcing,
+        )
+        out, diag = core.run(state0, args.steps)
+        err = exact.max_difference(out)
+        exch = diag.exchanges / args.steps
+        print(
+            f"{alg:>13} {exch:>10.1f} {diag.c_calls:>8} "
+            f"{diag.p2p_messages:>7} {1e3 * diag.stencil_comm_time:>12.4f} "
+            f"{1e3 * diag.collective_comm_time:>12.4f} {err:>17.3e}"
+        )
+    print(
+        "\nNote: the original matches the exact serial core to round-off; "
+        "the CA core's deviation is the approximate nonlinear iteration "
+        "(one third of the z-collectives removed), which vanishes as "
+        "dt -> 0."
+    )
+
+
+if __name__ == "__main__":
+    main()

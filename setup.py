@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e .` works offline (no wheel package
+available for PEP-517 editable builds); all metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Communication-avoiding dynamical core of an atmospheric GCM.
+
+Reproduction of Xiao et al., "Communication-Avoiding for Dynamical Core of
+Atmospheric General Circulation Model", ICPP 2018.  See README.md for the
+architecture overview and EXPERIMENTS.md for the paper-vs-reproduced
+numbers.
+
+Typical entry points:
+
+>>> from repro.grid import LatLonGrid
+>>> from repro.core import DynamicalCore
+>>> from repro.physics import HeldSuarezForcing, perturbed_rest_state
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "constants",
+    "grid",
+    "state",
+    "simmpi",
+    "operators",
+    "core",
+    "physics",
+    "analysis",
+    "perf",
+    "bench",
+]

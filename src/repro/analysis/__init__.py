@@ -1,0 +1,31 @@
+"""Diagnostics: energy conservation, communication lower bounds and the
+Section 5.3 asymptotic cost formulas."""
+from repro.analysis.energy import EnergyBudget, energy_budget
+from repro.analysis.lower_bounds import (
+    fourier_filter_lower_bound,
+    summation_lower_bound,
+    section53_costs,
+    Sec53Costs,
+)
+from repro.analysis.scaling import (
+    ScalingPoint,
+    ca_advantage_persists,
+    scaling_report,
+    strong_scaling,
+)
+from repro.analysis.climatology import Climatology, ClimatologyAccumulator
+
+__all__ = [
+    "EnergyBudget",
+    "energy_budget",
+    "fourier_filter_lower_bound",
+    "summation_lower_bound",
+    "section53_costs",
+    "Sec53Costs",
+    "ScalingPoint",
+    "ca_advantage_persists",
+    "scaling_report",
+    "strong_scaling",
+    "Climatology",
+    "ClimatologyAccumulator",
+]

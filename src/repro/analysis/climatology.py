@@ -1,0 +1,140 @@
+"""Zonal-mean climatology accumulation for Held-Suarez runs.
+
+The H-S benchmark (the paper's evaluation workload, Sec. 5.1) is judged by
+its statistically steady circulation: subtropical westerly jets, the
+equator-pole temperature gradient, surface easterlies/westerlies.  The
+:class:`ClimatologyAccumulator` ingests model states during a run and
+produces time-mean zonal-mean fields plus eddy statistics — the standard
+diagnostics of Held & Suarez (1994).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.latlon import LatLonGrid
+from repro.grid.sigma import SigmaLevels
+from repro.state.standard_atmosphere import StandardAtmosphere
+from repro.state.transforms import transformed_to_physical
+from repro.state.variables import ModelState
+
+
+@dataclass
+class Climatology:
+    """Finished time-mean zonal-mean diagnostics (axes: level, latitude)."""
+
+    latitudes_deg: np.ndarray
+    sigma_mid: np.ndarray
+    u_bar: np.ndarray
+    v_bar: np.ndarray
+    t_bar: np.ndarray
+    ps_bar: np.ndarray          # (ny,)
+    eddy_kinetic: np.ndarray    # zonal variance of u + v, (nz, ny)
+    samples: int
+
+    def jet_maximum(self) -> tuple[float, float, float]:
+        """(speed [m/s], latitude [deg], sigma) of the strongest mean
+        westerly."""
+        k, j = np.unravel_index(self.u_bar.argmax(), self.u_bar.shape)
+        return (
+            float(self.u_bar[k, j]),
+            float(self.latitudes_deg[j]),
+            float(self.sigma_mid[k]),
+        )
+
+    def surface_temperature_contrast(self) -> float:
+        """Equator-minus-pole time-mean surface temperature [K]."""
+        ny = self.latitudes_deg.size
+        t_eq = self.t_bar[-1, ny // 2]
+        t_pole = 0.5 * (self.t_bar[-1, 0] + self.t_bar[-1, -1])
+        return float(t_eq - t_pole)
+
+    def hemispheric_symmetry_error(self) -> float:
+        """Relative asymmetry of the mean zonal wind between hemispheres.
+
+        The H-S forcing is symmetric; long means should be too (eddies
+        break symmetry instantaneously, not in the time mean)."""
+        flipped = self.u_bar[:, ::-1]
+        denom = np.abs(self.u_bar).max() or 1.0
+        return float(np.abs(self.u_bar - flipped).max() / denom)
+
+    def render(self, rows: int = 12) -> str:
+        """Text table of the principal zonal means."""
+        ny = self.latitudes_deg.size
+        k_mid = self.u_bar.shape[0] // 2
+        lines = [
+            f"H-S climatology ({self.samples} samples)",
+            f"{'lat':>7} {'u(mid)':>8} {'u(sfc)':>8} {'T(sfc)':>8} "
+            f"{'p_s[hPa]':>9} {'EKE':>9}",
+        ]
+        for j in range(0, ny, max(1, ny // rows)):
+            lines.append(
+                f"{self.latitudes_deg[j]:>7.1f} {self.u_bar[k_mid, j]:>8.2f} "
+                f"{self.u_bar[-1, j]:>8.2f} {self.t_bar[-1, j]:>8.1f} "
+                f"{self.ps_bar[j] / 100:>9.1f} "
+                f"{self.eddy_kinetic[k_mid, j]:>9.3f}"
+            )
+        speed, lat, sig = self.jet_maximum()
+        lines.append(
+            f"jet: {speed:.1f} m/s at {lat:.0f} deg (sigma {sig:.2f}); "
+            f"dT(eq-pole) = {self.surface_temperature_contrast():.1f} K"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class ClimatologyAccumulator:
+    """Streaming accumulator of zonal-mean statistics."""
+
+    grid: LatLonGrid
+    sigma: SigmaLevels
+    reference: StandardAtmosphere = field(default_factory=StandardAtmosphere)
+
+    def __post_init__(self) -> None:
+        nz, ny = self.grid.nz, self.grid.ny
+        self._n = 0
+        self._u = np.zeros((nz, ny))
+        self._v = np.zeros((nz, ny))
+        self._t = np.zeros((nz, ny))
+        self._ps = np.zeros(ny)
+        self._eke = np.zeros((nz, ny))
+
+    @property
+    def samples(self) -> int:
+        return self._n
+
+    def add(self, state: ModelState) -> None:
+        """Ingest one (interior, global) model state."""
+        if state.U.shape != self.grid.shape3d:
+            raise ValueError(
+                f"state shape {state.U.shape} != grid {self.grid.shape3d}"
+            )
+        u, v, t, ps = transformed_to_physical(
+            state.U, state.V, state.Phi, state.psa,
+            self.sigma.mid, self.reference,
+        )
+        self._n += 1
+        self._u += u.mean(axis=-1)
+        self._v += v.mean(axis=-1)
+        self._t += t.mean(axis=-1)
+        self._ps += ps.mean(axis=-1)
+        u_dev = u - u.mean(axis=-1, keepdims=True)
+        v_dev = v - v.mean(axis=-1, keepdims=True)
+        self._eke += 0.5 * (u_dev**2 + v_dev**2).mean(axis=-1)
+
+    def finalize(self) -> Climatology:
+        """The time means accumulated so far."""
+        if self._n == 0:
+            raise ValueError("no samples accumulated")
+        n = float(self._n)
+        return Climatology(
+            latitudes_deg=self.grid.latitude_degrees(),
+            sigma_mid=self.sigma.mid.copy(),
+            u_bar=self._u / n,
+            v_bar=self._v / n,
+            t_bar=self._t / n,
+            ps_bar=self._ps / n,
+            eddy_kinetic=self._eke / n,
+            samples=self._n,
+        )

@@ -1,0 +1,87 @@
+"""Load-imbalance diagnostics of the latitude-longitude mesh.
+
+Section 2.2 notes "the latitude-longitude mesh may not maintain
+load-balance due to the non-uniformity"; the concrete culprit is the polar
+Fourier filter, whose work concentrates on the ranks owning polar rows.
+These helpers quantify the imbalance per decomposition — the hidden cost
+inside the measured collective times of Figure 6.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import ModelParameters
+from repro.grid.decomposition import Decomposition
+from repro.grid.latlon import LatLonGrid
+
+
+@dataclass(frozen=True)
+class ImbalanceReport:
+    """Filter-work distribution over the ranks of one decomposition."""
+
+    decomposition: Decomposition
+    work_per_rank: np.ndarray  # filter row-points owned by each rank
+    active_ranks: int
+
+    @property
+    def imbalance_factor(self) -> float:
+        """max/mean work ratio (1.0 = perfectly balanced).
+
+        The mean is over *all* ranks: idle ranks make the filter load
+        imbalance worse, not better.
+        """
+        mean = self.work_per_rank.mean()
+        if mean == 0:
+            return 1.0
+        return float(self.work_per_rank.max() / mean)
+
+    @property
+    def idle_fraction(self) -> float:
+        """Share of ranks with no filter work at all."""
+        return float((self.work_per_rank == 0).mean())
+
+
+def filter_imbalance(
+    grid: LatLonGrid,
+    decomp: Decomposition,
+    params: ModelParameters | None = None,
+) -> ImbalanceReport:
+    """Distribute the polar-filter row work over the ranks of ``decomp``.
+
+    Work unit: one (row, level) pair whose latitude circle is filtered;
+    each costs one ``nx log nx`` FFT (or a share of it plus the x-line
+    collective when longitude is split — the collective synchronizes the
+    whole line, so the line's work is attributed to each member).
+    """
+    params = params or ModelParameters()
+    sin_f = math.cos(params.filter_latitude)
+    filtered_row = np.sin(grid.theta_c) < sin_f  # (ny,)
+    work = np.zeros(decomp.nranks)
+    for rank in range(decomp.nranks):
+        ext = decomp.extent(rank)
+        rows = int(filtered_row[ext.y0: ext.y1].sum())
+        work[rank] = rows * ext.nz
+    return ImbalanceReport(
+        decomposition=decomp,
+        work_per_rank=work,
+        active_ranks=int((work > 0).sum()),
+    )
+
+
+def compare_decompositions(
+    grid: LatLonGrid, nprocs: int, params: ModelParameters | None = None
+) -> dict[str, ImbalanceReport]:
+    """Filter imbalance of the X-Y vs Y-Z decomposition at ``nprocs``."""
+    from repro.grid.decomposition import xy_decomposition, yz_decomposition
+
+    return {
+        "xy": filter_imbalance(
+            grid, xy_decomposition(grid.nx, grid.ny, grid.nz, nprocs), params
+        ),
+        "yz": filter_imbalance(
+            grid, yz_decomposition(grid.nx, grid.ny, grid.nz, nprocs), params
+        ),
+    }

@@ -1,0 +1,106 @@
+"""Communication lower bounds (Theorems 4.1 / 4.2) and the Section 5.3
+asymptotic cost formulas.
+
+These closed forms are what Section 4.2 uses to *choose* the Y-Z
+decomposition (the FFT term dominates the reduction term), and what
+Section 5.3 uses to argue ``W_XY >> W_YZ > W_CA`` and
+``S_XY > S_YZ > S_CA``.  The benchmark ``bench_sec53_theory`` evaluates
+them at paper scale; the tests check monotonicity, limits and consistency
+with the instrumented simulated-MPI counters.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def fourier_filter_lower_bound(nx: int, px: int) -> float:
+    """Theorem 4.1: words moved per processor by the ``n_x``-input Fourier
+    filtering on ``p_x`` processors.
+
+    ``W = Omega(2 n_x log n_x / (p_x log(n_x / p_x)) * eta)`` with
+    ``eta = 0`` for ``p_x = 1`` (the whole circle is local) — the
+    observation behind choosing ``p_x = 1``.
+    """
+    if not 1 <= px <= nx:
+        raise ValueError("need 1 <= px <= nx")
+    if px == 1:
+        return 0.0
+    if px == nx:
+        # log(nx/px) = 0: the bound degenerates; use one input per rank
+        return 2.0 * nx * math.log2(nx) / px
+    return 2.0 * nx * math.log2(nx) / (px * math.log2(nx / px))
+
+
+def summation_lower_bound(nx: int, ny: int, pz: int) -> float:
+    """Theorem 4.2: words moved by any parallel execution of the summation
+    operator ``C``: ``W = Omega(2 (p_z - 1) n_x n_y)``.
+
+    Attained by ring algorithms (Thakur et al. 2005, paper ref. [19]).
+    """
+    if pz < 1:
+        raise ValueError("pz must be >= 1")
+    return 2.0 * (pz - 1) * nx * ny
+
+
+def filter_dominates_summation(
+    nx: int, ny: int, nz: int, px: int, py: int, pz: int
+) -> bool:
+    """The Sec. 4.2 dominance check:
+    ``n_x n_y n_z log n_x / (p_x log(n_x/p_x)) >> (p_z - 1) n_x n_y``.
+
+    Returns True when the (per-level) filter term exceeds the summation
+    term, i.e. when avoiding the x-collective is the right call.
+    """
+    if px == 1:
+        return False  # filter term vanished; nothing to dominate
+    filter_term = (
+        nx * ny * nz * math.log2(nx) / (px * math.log2(max(2.0, nx / px)))
+    )
+    summation_term = (pz - 1) * nx * ny
+    return filter_term > summation_term
+
+
+@dataclass(frozen=True)
+class Sec53Costs:
+    """Per-processor communication volume ``W`` and synchronization count
+    ``S`` of one algorithm over ``K`` steps (Sec. 5.3 Theta-expressions,
+    evaluated with unit constants)."""
+
+    algorithm: str
+    W: float
+    S: float
+
+
+def section53_costs(
+    algorithm: str,
+    nx: int,
+    ny: int,
+    nz: int,
+    px: int,
+    py: int,
+    pz: int,
+    m_iterations: int = 3,
+    nsteps: int = 1,
+) -> Sec53Costs:
+    """Evaluate the Section 5.3 formulas.
+
+    * ``W_CA  = Theta(2 M K  n_x (n_y/p_y)(n_z/p_z) log p_z)``
+    * ``W_YZ  = Theta(3 M K  n_x (n_y/p_y)(n_z/p_z) log p_z)``
+    * ``W_XY  = Theta(6 M K  n_z (n_y/p_y)(n_x/p_x) log p_x)``
+    * ``S_CA = Theta((2M + 2) K)``, ``S_YZ = Theta((6M + 4) K)``,
+      ``S_XY = Theta((9M + 10) K)``.
+    """
+    M, K = m_iterations, nsteps
+    if algorithm == "ca":
+        w = 2 * M * K * nx * (ny / py) * (nz / pz) * math.log2(max(2, pz))
+        s = (2 * M + 2) * K
+    elif algorithm == "yz":
+        w = 3 * M * K * nx * (ny / py) * (nz / pz) * math.log2(max(2, pz))
+        s = (6 * M + 4) * K
+    elif algorithm == "xy":
+        w = 6 * M * K * nz * (ny / py) * (nx / px) * math.log2(max(2, px))
+        s = (9 * M + 10) * K
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    return Sec53Costs(algorithm=algorithm, W=w, S=s)

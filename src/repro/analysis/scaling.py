@@ -1,0 +1,86 @@
+"""Strong-scaling analysis of the three algorithms.
+
+Section 5.3 argues the CA algorithm's advantage persists "even when a much
+larger number of processors are used"; these helpers quantify that with
+speedup/efficiency curves from the calibrated projection model, extended
+beyond the paper's 1024-rank sweep.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.model import PerformanceModel
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a strong-scaling curve."""
+
+    algorithm: str
+    nprocs: int
+    total_time: float
+    speedup: float
+    efficiency: float
+
+
+def strong_scaling(
+    model: PerformanceModel,
+    algorithm: str,
+    procs: list[int],
+    base_procs: int | None = None,
+) -> list[ScalingPoint]:
+    """Speedup/efficiency relative to the smallest (or given) job size.
+
+    Efficiency is normalized per processor:
+    ``eff = (T_base * p_base) / (T_p * p)``.
+    """
+    if not procs:
+        raise ValueError("procs must be non-empty")
+    base_p = base_procs if base_procs is not None else min(procs)
+    t_base = model.timing(algorithm, base_p).total_time
+    out = []
+    for p in sorted(procs):
+        t = model.timing(algorithm, p).total_time
+        speedup = t_base / t
+        efficiency = (t_base * base_p) / (t * p)
+        out.append(
+            ScalingPoint(
+                algorithm=algorithm,
+                nprocs=p,
+                total_time=t,
+                speedup=speedup,
+                efficiency=efficiency,
+            )
+        )
+    return out
+
+
+def scaling_report(
+    model: PerformanceModel,
+    algorithms: list[str],
+    procs: list[int],
+) -> str:
+    """Plain-text strong-scaling comparison table."""
+    lines = [
+        f"strong scaling, {model.nsteps} steps "
+        f"({model.grid.nx}x{model.grid.ny}x{model.grid.nz})",
+        f"{'algorithm':>14} {'p':>6} {'total[s]':>12} {'speedup':>8} {'eff':>6}",
+    ]
+    for alg in algorithms:
+        for pt in strong_scaling(model, alg, procs):
+            lines.append(
+                f"{alg:>14} {pt.nprocs:>6} {pt.total_time:>12.0f} "
+                f"{pt.speedup:>8.2f} {pt.efficiency:>6.2f}"
+            )
+    return "\n".join(lines)
+
+
+def ca_advantage_persists(
+    model: PerformanceModel, procs: list[int]
+) -> bool:
+    """The Sec. 5.3 assertion: CA beats the Y-Z original at every size."""
+    return all(
+        model.timing("ca", p).total_time
+        < model.timing("original-yz", p).total_time
+        for p in procs
+    )

@@ -1,0 +1,174 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench.figures fig1
+    python -m repro.bench.figures fig6 fig7 fig8
+    python -m repro.bench.figures tables
+    python -m repro.bench.figures measured   # executes the real cores
+    python -m repro.bench.figures all
+"""
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.lower_bounds import section53_costs
+from repro.bench.harness import (
+    fig1_comm_fraction,
+    fig6_collective_time,
+    fig7_stencil_time,
+    fig8_total_runtime,
+    small_scale_measured,
+)
+from repro.grid.latlon import paper_grid
+from repro.operators.stencil_meta import (
+    TABLE1_ADAPTATION,
+    TABLE2_ADVECTION,
+    TABLE3_SMOOTHING,
+    render_table,
+)
+from repro.perf.model import PAPER_PROC_SWEEP
+
+
+def render_tables() -> str:
+    """Tables 1-3 as declared stencil footprints."""
+    return "\n\n".join(
+        [
+            render_table(TABLE1_ADAPTATION, "Table 1: Stencil Computation in Adaptation Process"),
+            render_table(TABLE2_ADVECTION, "Table 2: Stencil Computation in Advection Process"),
+            render_table(TABLE3_SMOOTHING, "Table 3: Stencil Computation in Smoothing"),
+        ]
+    )
+
+
+def render_sec53() -> str:
+    """The Section 5.3 asymptotic W / S costs at paper scale."""
+    g = paper_grid()
+    lines = ["Section 5.3: asymptotic communication (W) and latency (S) costs"]
+    lines.append(f"{'p':>6} {'alg':>6} {'W [words]':>14} {'S [syncs]':>10}")
+    from repro.grid.decomposition import xy_decomposition, yz_decomposition
+
+    for p in PAPER_PROC_SWEEP:
+        dyz = yz_decomposition(g.nx, g.ny, g.nz, p)
+        dxy = xy_decomposition(g.nx, g.ny, g.nz, p)
+        for alg, d in (("ca", dyz), ("yz", dyz), ("xy", dxy)):
+            c = section53_costs(
+                alg, g.nx, g.ny, g.nz, d.px, d.py, d.pz, nsteps=1
+            )
+            lines.append(f"{p:>6} {alg:>6} {c.W:>14.0f} {c.S:>10.0f}")
+    return "\n".join(lines)
+
+
+def render_measured() -> str:
+    """Small-scale executed comparison of the three algorithms."""
+    points = small_scale_measured()
+    lines = [
+        "Executed small-scale comparison (simulated cluster, logical clock)",
+        f"{'algorithm':>14} {'decomp':>10} {'stencil[s]':>11} {'collect[s]':>11} "
+        f"{'compute[s]':>11} {'msgs':>8} {'c_calls':>8} {'exchanges':>9}",
+    ]
+    for alg, pt in points.items():
+        d = pt.diagnostics
+        dec = pt.decomp
+        lines.append(
+            f"{alg:>14} {f'{dec.px}x{dec.py}x{dec.pz}':>10} "
+            f"{d.stencil_comm_time:>11.5f} {d.collective_comm_time:>11.5f} "
+            f"{d.compute_time:>11.5f} {d.p2p_messages:>8} {d.c_calls:>8} "
+            f"{d.exchanges:>9}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig2() -> str:
+    """Figure 2: the operator form of the calculating flow, for both
+    algorithms."""
+    from repro.core.operator_form import render_flow, step_schedule
+
+    return "\n\n".join(
+        [
+            "Figure 2: the operator form of the calculating flow",
+            render_flow(step_schedule("original", "yz", 3)),
+            render_flow(step_schedule("ca", "yz", 3)),
+        ]
+    )
+
+
+def render_scaling() -> str:
+    """Strong-scaling comparison of all algorithms (incl. the 3-D baseline)."""
+    from repro.analysis.scaling import scaling_report
+    from repro.perf.model import PerformanceModel
+
+    pm = PerformanceModel(paper_grid())
+    return scaling_report(
+        pm, ["original-xy", "original-yz", "original-3d", "ca"],
+        PAPER_PROC_SWEEP,
+    )
+
+
+def render_sweeps() -> str:
+    """Parameter sweeps around the paper's configuration."""
+    from repro.bench.sweeps import (
+        latency_sweep,
+        m_iterations_sweep,
+        render_sweep,
+        resolution_sweep,
+    )
+
+    return "\n\n".join(
+        [
+            render_sweep(resolution_sweep(), "resolution sweep (p = 256)"),
+            render_sweep(m_iterations_sweep(), "M sweep (p = 512)"),
+            render_sweep(latency_sweep(), "network-latency sweep (p = 512)"),
+        ]
+    )
+
+
+def render_imbalance() -> str:
+    """Polar-filter load imbalance per decomposition."""
+    from repro.analysis.imbalance import compare_decompositions
+
+    g = paper_grid()
+    lines = ["polar-filter load imbalance (720x360x30)"]
+    lines.append(
+        f"{'p':>6} {'decomp':>6} {'imbalance':>10} {'idle ranks':>11}"
+    )
+    for p in PAPER_PROC_SWEEP:
+        for name, rep in compare_decompositions(g, p).items():
+            lines.append(
+                f"{p:>6} {name:>6} {rep.imbalance_factor:>10.1f} "
+                f"{100 * rep.idle_fraction:>10.0f}%"
+            )
+    return "\n".join(lines)
+
+
+TARGETS = {
+    "fig1": lambda: fig1_comm_fraction().render(),
+    "fig2": render_fig2,
+    "fig6": lambda: fig6_collective_time().render(),
+    "fig7": lambda: fig7_stencil_time().render(),
+    "fig8": lambda: fig8_total_runtime().render(),
+    "tables": render_tables,
+    "sec53": render_sec53,
+    "measured": render_measured,
+    "scaling": render_scaling,
+    "sweeps": render_sweeps,
+    "imbalance": render_imbalance,
+}
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or ["all"]
+    if targets == ["all"]:
+        targets = list(TARGETS)
+    unknown = [t for t in targets if t not in TARGETS]
+    if unknown:
+        print(f"unknown targets: {unknown}; available: {sorted(TARGETS)} or 'all'")
+        return 2
+    for t in targets:
+        print(TARGETS[t]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

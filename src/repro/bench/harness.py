@@ -1,0 +1,188 @@
+"""Experiment harness behind the figure/table regeneration.
+
+Two layers of evidence:
+
+* **projection** — the calibrated :class:`repro.perf.PerformanceModel`
+  evaluated at paper scale (720 x 360 x 30, 10 model years, 128..1024
+  ranks): this is what the ``fig*`` series report, since no single machine
+  can execute 10 model years at 50 km;
+* **measurement** — :func:`small_scale_measured` runs the *actual*
+  algorithms on the simulated cluster at a reduced scale and returns the
+  logical-clock time breakdown, used to validate that the projected
+  orderings (who wins, by roughly what factor) also hold for the
+  executable implementations.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import ModelParameters
+from repro.core.driver import DynamicalCore, StepDiagnostics
+from repro.grid.decomposition import Decomposition
+from repro.grid.latlon import LatLonGrid, paper_grid
+from repro.perf.model import (
+    ALGORITHMS,
+    AlgorithmTiming,
+    PAPER_PROC_SWEEP,
+    PerformanceModel,
+)
+from repro.physics import HeldSuarezForcing, perturbed_rest_state
+from repro.state.variables import ModelState
+
+
+@dataclass
+class FigureSeries:
+    """One reproduced figure: x-axis process counts and per-algorithm series."""
+
+    figure: str
+    description: str
+    procs: list[int]
+    series: dict[str, list[float]]
+    unit: str
+
+    def render(self) -> str:
+        """Plain-text rendering (rows = algorithms, columns = p)."""
+        lines = [f"{self.figure}: {self.description} [{self.unit}]"]
+        header = f"{'algorithm':>14} " + " ".join(f"{p:>12}" for p in self.procs)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, values in self.series.items():
+            lines.append(
+                f"{name:>14} " + " ".join(f"{v:>12.1f}" for v in values)
+            )
+        return "\n".join(lines)
+
+
+def _model(grid: LatLonGrid | None = None, **kwargs) -> PerformanceModel:
+    return PerformanceModel(grid or paper_grid(), **kwargs)
+
+
+def fig1_comm_fraction(
+    procs: list[int] | None = None, model: PerformanceModel | None = None
+) -> FigureSeries:
+    """Figure 1: communication vs computation percentage of the dycore
+    runtime (original algorithm, both decompositions)."""
+    pm = model or _model()
+    procs = procs or PAPER_PROC_SWEEP
+    series: dict[str, list[float]] = {}
+    for alg in ("original-xy", "original-yz"):
+        series[f"{alg} comm%"] = [
+            100.0 * pm.timing(alg, p).comm_fraction for p in procs
+        ]
+        series[f"{alg} comp%"] = [
+            100.0 * (1.0 - pm.timing(alg, p).comm_fraction) for p in procs
+        ]
+    return FigureSeries(
+        figure="Figure 1",
+        description="communication/computation share of dycore runtime",
+        procs=procs,
+        series=series,
+        unit="%",
+    )
+
+
+def fig6_collective_time(
+    procs: list[int] | None = None, model: PerformanceModel | None = None
+) -> FigureSeries:
+    """Figure 6: collective-communication time of the three algorithms."""
+    pm = model or _model()
+    procs = procs or PAPER_PROC_SWEEP
+    series = {
+        alg: [pm.timing(alg, p).collective_comm_time for p in procs]
+        for alg in ALGORITHMS
+    }
+    return FigureSeries(
+        figure="Figure 6",
+        description="time for collective communication (10 model years)",
+        procs=procs,
+        series=series,
+        unit="s",
+    )
+
+
+def fig7_stencil_time(
+    procs: list[int] | None = None, model: PerformanceModel | None = None
+) -> FigureSeries:
+    """Figure 7: communication time of the stencil computation."""
+    pm = model or _model()
+    procs = procs or PAPER_PROC_SWEEP
+    series = {
+        alg: [pm.timing(alg, p).stencil_comm_time for p in procs]
+        for alg in ALGORITHMS
+    }
+    return FigureSeries(
+        figure="Figure 7",
+        description="communication time of stencil (10 model years)",
+        procs=procs,
+        series=series,
+        unit="s",
+    )
+
+
+def fig8_total_runtime(
+    procs: list[int] | None = None, model: PerformanceModel | None = None
+) -> FigureSeries:
+    """Figure 8: total runtime of the dynamical core."""
+    pm = model or _model()
+    procs = procs or PAPER_PROC_SWEEP
+    series = {
+        alg: [pm.timing(alg, p).total_time for p in procs]
+        for alg in ALGORITHMS
+    }
+    return FigureSeries(
+        figure="Figure 8",
+        description="total runtime of dynamical core (10 model years)",
+        procs=procs,
+        series=series,
+        unit="s",
+    )
+
+
+@dataclass
+class MeasuredPoint:
+    """One executed (algorithm, decomposition) measurement."""
+
+    algorithm: str
+    decomp: Decomposition
+    diagnostics: StepDiagnostics
+    final_state: ModelState
+
+
+def small_scale_measured(
+    grid: LatLonGrid | None = None,
+    nsteps: int = 2,
+    nprocs: int = 4,
+    params: ModelParameters | None = None,
+    with_forcing: bool = True,
+    algorithms: tuple[str, ...] = ("original-xy", "original-yz", "ca"),
+) -> dict[str, MeasuredPoint]:
+    """Execute the real algorithms on the simulated cluster.
+
+    Returns per-algorithm diagnostics (logical-clock breakdown + counters)
+    and final states, all starting from the same initial condition — the
+    ground truth the projection model is validated against in the tests
+    and benchmarks.
+    """
+    grid = grid or LatLonGrid(nx=32, ny=16, nz=8)
+    params = params or ModelParameters(
+        dt_adaptation=60.0, dt_advection=60.0, m_iterations=1
+    )
+    forcing = HeldSuarezForcing() if with_forcing else None
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+    out: dict[str, MeasuredPoint] = {}
+    for alg in algorithms:
+        core = DynamicalCore(
+            grid,
+            algorithm=alg,
+            nprocs=nprocs,
+            params=params,
+            forcing=forcing,
+        )
+        final, diag = core.run(state0, nsteps)
+        out[alg] = MeasuredPoint(
+            algorithm=alg,
+            decomp=core.config.resolve_decomposition(),
+            diagnostics=diag,
+            final_state=final,
+        )
+    return out

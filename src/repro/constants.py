@@ -1,0 +1,107 @@
+"""Physical constants and model parameters of the IAP-AGCM 4.0 dynamical core.
+
+All values are the ones quoted in Section 2.1 of the paper (Xiao et al.,
+ICPP 2018) or standard atmospheric-science values where the paper defers to
+"the gas constant for dry air" etc.  Units are SI unless noted.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Earth radius [m].
+EARTH_RADIUS = 6.371e6
+
+#: Angular velocity of the earth rotation [rad/s].
+EARTH_OMEGA = 7.292e-5
+
+#: Gas constant for dry air [J kg^-1 K^-1].
+R_DRY = 287.04
+
+#: Specific heat of dry air at constant pressure [J kg^-1 K^-1].
+CP_DRY = 1004.64
+
+#: kappa = R/cp for dry air (dimensionless).
+KAPPA = R_DRY / CP_DRY
+
+#: Characteristic velocity of gravity-wave propagation in the standard
+#: atmosphere [m/s]; the paper's ``b`` in the transform (1).
+B_GRAVITY_WAVE = 87.8
+
+#: Reference surface pressure p0 [Pa] (1000 hPa in the paper).
+P_REFERENCE = 1000.0e2
+
+#: Pressure at the model top layer p_t [Pa] (2.2 hPa in the paper).
+P_TOP = 2.2e2
+
+#: Surface dissipation coefficient k_sa of the D_sa term (paper Sec. 2.1).
+K_SA = 0.1
+
+#: Gravitational acceleration [m/s^2].
+GRAVITY = 9.80616
+
+#: Reference sea-level temperature of the standard stratification [K].
+T_SEA_LEVEL = 288.15
+
+#: Standard-stratification lapse rate [K/m].
+LAPSE_RATE = 6.5e-3
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Tunable parameters of one dynamical-core configuration.
+
+    Attributes mirror the symbols of Algorithm 1 / Algorithm 2:
+
+    * ``m_iterations`` -- the paper's ``M``, the number of nonlinear
+      iterations of the adaptation process per model step (paper uses 3).
+    * ``dt_adaptation`` -- the adaptation sub-step ``dt_1`` [s].
+    * ``dt_advection`` -- the advection step ``dt_2`` [s]; the paper
+      requires ``dt_1 << dt_2``.
+    * ``delta_p`` / ``delta_c`` -- the switches of Eq. (2); ``delta_p = 0``
+      selects the standard-stratification approximation the IAP core uses.
+    * ``filter_latitude`` -- poleward of this latitude [rad] the Fourier
+      polar filter is applied.
+    * ``smoothing_beta`` -- the ``beta`` weight of the smoothing operator
+      ``S`` (Sec. 4.3.2).
+    """
+
+    m_iterations: int = 3
+    dt_adaptation: float = 60.0
+    dt_advection: float = 180.0  # = m_iterations * dt_adaptation (consistent split)
+    delta_p: float = 0.0
+    delta_c: float = 0.0
+    filter_latitude: float = math.radians(70.0)
+    #: polar-filter damping profile: "quadratic" | "sharp" | "exponential"
+    #: (see repro.operators.filter.damping_factors)
+    filter_profile: str = "quadratic"
+    smoothing_beta: float = 0.1
+    #: extra meridional 4th-difference damping of U/V (stability extension;
+    #: 0 reproduces the paper's P1 exactly — see operators/smoothing.py)
+    smoothing_beta_y_uv: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.m_iterations < 1:
+            raise ValueError("m_iterations must be >= 1")
+        if self.dt_adaptation <= 0 or self.dt_advection <= 0:
+            raise ValueError("time steps must be positive")
+        if not 0.0 <= self.filter_latitude < math.pi / 2:
+            raise ValueError("filter_latitude must be in [0, pi/2)")
+        if self.filter_profile not in ("quadratic", "sharp", "exponential"):
+            raise ValueError(f"unknown filter_profile {self.filter_profile!r}")
+        if not 0.0 <= self.smoothing_beta <= 1.0:
+            raise ValueError("smoothing_beta must be in [0, 1]")
+
+
+#: Default parameter set used throughout tests and benchmarks.
+DEFAULT_PARAMETERS = ModelParameters()
+
+
+#: Surface-pressure dissipation diffusivity [m^2/s] multiplying ``k_sa`` in
+#: our concrete D_sa discretization (the paper gives the dimensionless
+#: ``k_sa = 0.1`` but not the diffusivity scale; this value gives a weak,
+#: stabilizing damping of p'_sa consistent with its role).
+NU_SA = 1.0e5
+
+#: The ``kappa*`` weight of the surface-pressure equation's D_sa term.
+KAPPA_STAR = 1.0

@@ -1,0 +1,19 @@
+"""Time integration: the serial reference core (Algorithm 1), the
+distributed original cores under X-Y / Y-Z decompositions, and the
+communication-avoiding core (Algorithm 2)."""
+from repro.core.tendencies import TendencyEngine
+from repro.core.integrator import SerialCore
+from repro.core.distributed import DistributedConfig, original_rank_program
+from repro.core.comm_avoiding import ca_rank_program
+from repro.core.driver import CoreConfig, DynamicalCore, StepDiagnostics
+
+__all__ = [
+    "TendencyEngine",
+    "SerialCore",
+    "DistributedConfig",
+    "original_rank_program",
+    "ca_rank_program",
+    "CoreConfig",
+    "DynamicalCore",
+    "StepDiagnostics",
+]

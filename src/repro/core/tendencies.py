@@ -1,0 +1,128 @@
+"""Composition of the five operators into the tendency evaluations of
+Algorithm 1 / Algorithm 2.
+
+One :class:`TendencyEngine` owns a working geometry, the polar filter and
+the (optional) z-collective hook, and exposes the two composite
+evaluations the integrators need:
+
+* ``F (C-hat + A-hat)`` — the adaptation tendency (optionally with a
+  *cached* ``C`` bundle, the approximate nonlinear iteration of
+  Sec. 4.2.2);
+* ``F L`` — the advection tendency (with the ``sigma-dot`` diagnostics
+  frozen from the adaptation process, matching the operator form's absence
+  of ``C`` in the advection block).
+
+Ghost filling here covers only the *physical* boundaries (pole mirrors,
+vertical edges); rank-to-rank halo exchange is the distributed cores'
+job and happens before these evaluations are called.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import ModelParameters
+from repro.operators.adaptation import adaptation_tendency
+from repro.operators.advection import advection_tendency
+from repro.operators.filter import PolarFilter
+from repro.operators.geometry import WorkingGeometry
+from repro.operators.shifts import (
+    fill_pole_ghosts,
+    fill_pole_ghosts_vrow,
+    fill_z_edge_ghosts,
+)
+from repro.operators.vertical import (
+    DEFAULT_REFERENCE,
+    GatherFn,
+    VerticalDiagnostics,
+    compute_vertical_diagnostics,
+    compute_vertical_diagnostics_scan,
+)
+from repro.state.standard_atmosphere import StandardAtmosphere
+from repro.state.variables import ModelState
+
+
+@dataclass
+class TendencyEngine:
+    """Operator composition for one rank (or the serial core)."""
+
+    geom: WorkingGeometry
+    params: ModelParameters
+    polar_filter: PolarFilter | None = None
+    gather_z: GatherFn | None = None
+    #: alternative volume-optimal C collective: (exscan_fn, allreduce_fn)
+    #: on the z line; takes precedence over ``gather_z`` when set
+    scan_z: tuple | None = None
+    reference: StandardAtmosphere = DEFAULT_REFERENCE
+
+    def __post_init__(self) -> None:
+        if self.polar_filter is None and self.geom.full_x:
+            self.polar_filter = PolarFilter(self.geom, self.params)
+
+    # ---- boundary conditions -----------------------------------------------
+    def fill_physical_ghosts(self, state: ModelState) -> None:
+        """Pole mirror + vertical edge ghost fill (no communication).
+
+        Also (re)imposes V = 0 on pole interface rows owned by this block.
+        Call after every state update and before any stencil evaluation.
+        """
+        g = self.geom
+        n, s = g.touches_north, g.touches_south
+        if g.gy > 0 and (n or s):
+            fill_pole_ghosts(state.U, g.gy, vector=True, north=n, south=s)
+            fill_pole_ghosts(state.Phi, g.gy, vector=False, north=n, south=s)
+            fill_pole_ghosts(state.psa, g.gy, vector=False, north=n, south=s)
+            fill_pole_ghosts_vrow(state.V, g.gy, north=n, south=s)
+        elif s and g.gy == 0:
+            # even without ghosts the south-pole interface row exists
+            state.V[..., -1, :] = 0.0
+        if g.gz > 0:
+            for f in (state.U, state.V, state.Phi):
+                fill_z_edge_ghosts(f, g.gz, top=g.touches_top, bottom=g.touches_bottom)
+
+    # ---- the C operator ------------------------------------------------------
+    def vertical(self, state: ModelState) -> VerticalDiagnostics:
+        """Apply ``C``: the vertical-integral diagnostics bundle.
+
+        This is the only tendency ingredient that needs the z-collective.
+        Uses the scan-based variant when ``scan_z`` is configured, the
+        allgather variant otherwise.
+        """
+        if self.scan_z is not None:
+            exscan, allreduce = self.scan_z
+            return compute_vertical_diagnostics_scan(
+                state.U, state.V, state.Phi, state.psa, self.geom,
+                exscan, allreduce, self.reference,
+            )
+        return compute_vertical_diagnostics(
+            state.U, state.V, state.Phi, state.psa, self.geom,
+            self.gather_z, self.reference,
+        )
+
+    # ---- composite tendencies ----------------------------------------------------
+    def adaptation(
+        self, state: ModelState, vd: VerticalDiagnostics
+    ) -> ModelState:
+        """``C-hat + A-hat``: the (unfiltered) adaptation tendency.
+
+        ``vd`` may be the *fresh* diagnostics of ``state`` (original
+        algorithm) or a cached bundle from an earlier iterate (the
+        approximate nonlinear iteration): the caller decides, which is the
+        whole point of the Sec. 4.2.2 optimization.  The caller applies
+        the ``F`` operator (:meth:`apply_filter` locally, or the x-line
+        collective of the distributed X-Y core).
+        """
+        return adaptation_tendency(state, vd, self.geom, self.params)
+
+    def advection(
+        self, state: ModelState, vd: VerticalDiagnostics
+    ) -> ModelState:
+        """``L``: the (unfiltered) advection tendency with frozen
+        ``sigma-dot``."""
+        return advection_tendency(state, vd, self.geom)
+
+    def apply_filter(self, tend: ModelState) -> ModelState:
+        """The ``F`` operator, local full-circle variant (requires
+        ``geom.full_x``)."""
+        if self.polar_filter is None:
+            raise RuntimeError("no local polar filter on a split-x geometry")
+        return self.polar_filter.apply_state(tend)

@@ -1,0 +1,30 @@
+"""Latitude-longitude mesh, vertical coordinate and domain decomposition.
+
+The horizontal mesh is the regular latitude-longitude grid of Section 2.2
+(Arakawa C staggering), the vertical coordinate is the terrain-following
+sigma coordinate.  :mod:`repro.grid.decomposition` provides the X-Y, Y-Z and
+general 3-D block decompositions that Section 4.2 reasons about.
+"""
+from repro.grid.latlon import LatLonGrid
+from repro.grid.sigma import SigmaLevels
+from repro.grid.decomposition import (
+    Decomposition,
+    BlockExtent,
+    xy_decomposition,
+    yz_decomposition,
+    best_2d_factorization,
+)
+from repro.grid.cfl import CflReport, cfl_report, polar_clustering_ratio
+
+__all__ = [
+    "LatLonGrid",
+    "SigmaLevels",
+    "Decomposition",
+    "BlockExtent",
+    "xy_decomposition",
+    "yz_decomposition",
+    "best_2d_factorization",
+    "CflReport",
+    "cfl_report",
+    "polar_clustering_ratio",
+]

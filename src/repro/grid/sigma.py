@@ -1,0 +1,78 @@
+"""Terrain-following sigma vertical coordinate (Phillips 1957).
+
+``sigma = (p - p_t) / p_es`` with ``p_es = p_s - p_t``; ``sigma = 0`` at the
+model top and ``sigma = 1`` at the surface.  The dynamical core needs the
+mid-level values ``sigma_k`` (where the prognostic variables live), the
+interface values ``sigma_{k+1/2}`` (where the vertical velocity
+``sigma-dot`` lives) and the layer thicknesses ``Delta sigma_k`` used by the
+vertical summation operator ``C`` (Sec. 4.1).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SigmaLevels:
+    """Vertical sigma levels.
+
+    Parameters
+    ----------
+    interfaces:
+        Monotonically increasing interface values, shape ``(nz + 1,)``,
+        with ``interfaces[0] == 0`` (top) and ``interfaces[-1] == 1``
+        (surface).
+    """
+
+    interfaces: np.ndarray
+
+    mid: np.ndarray = field(init=False, repr=False, compare=False)
+    dsigma: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        iface = np.asarray(self.interfaces, dtype=np.float64)
+        if iface.ndim != 1 or iface.size < 2:
+            raise ValueError("interfaces must be a 1-D array of >= 2 values")
+        if not np.isclose(iface[0], 0.0) or not np.isclose(iface[-1], 1.0):
+            raise ValueError("interfaces must run from 0 (top) to 1 (surface)")
+        if np.any(np.diff(iface) <= 0):
+            raise ValueError("interfaces must be strictly increasing")
+        object.__setattr__(self, "interfaces", iface)
+        object.__setattr__(self, "mid", 0.5 * (iface[:-1] + iface[1:]))
+        object.__setattr__(self, "dsigma", np.diff(iface))
+
+    @property
+    def nz(self) -> int:
+        """Number of full levels."""
+        return self.mid.size
+
+    @classmethod
+    def uniform(cls, nz: int) -> "SigmaLevels":
+        """``nz`` equally thick layers."""
+        return cls(np.linspace(0.0, 1.0, nz + 1))
+
+    @classmethod
+    def stretched(cls, nz: int, stretch: float = 2.0) -> "SigmaLevels":
+        """Levels refined toward the surface (where the atmosphere is dense).
+
+        ``stretch > 1`` concentrates levels near ``sigma = 1``; this mirrors
+        the level placement of production AGCMs.  ``stretch = 1`` is uniform.
+        """
+        if stretch <= 0:
+            raise ValueError("stretch must be positive")
+        s = np.linspace(0.0, 1.0, nz + 1)
+        return cls(s**(1.0 / stretch))
+
+    def thickness_weights(self) -> np.ndarray:
+        """``Delta sigma_k`` as the quadrature weights of the vertical sum.
+
+        These are exactly the weights of the summation
+        ``sum_k Delta sigma_k * D(P)_k`` in the fourth component of the
+        adaptation function (the operator ``C``).
+        """
+        return self.dsigma.copy()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SigmaLevels(nz={self.nz})"

@@ -1,0 +1,49 @@
+"""Discrete operators of the dynamical core.
+
+Section 4.1 of the paper factors one model step into five operators; this
+package implements each of them plus the shared stencil machinery:
+
+* :mod:`repro.operators.geometry` / :mod:`repro.operators.shifts` — working
+  arrays with ghost zones, pole mirror conditions, metric terms;
+* :mod:`repro.operators.vertical` — the **C** operator: vertical-integral
+  diagnostics (column divergence sum, sigma-dot / W, hydrostatic
+  geopotential), the only place a z-direction collective is required;
+* :mod:`repro.operators.adaptation` — the **A** operator: pressure
+  gradient, Coriolis and Omega terms plus the surface dissipation
+  (pure stencil given the C diagnostics);
+* :mod:`repro.operators.advection` — the **L** operator: the flux-form
+  advection terms L1, L2, L3 of Eq. (3);
+* :mod:`repro.operators.filter` — the **F** operator: per-latitude Fourier
+  polar filtering;
+* :mod:`repro.operators.smoothing` — the **S** operator: the 4th-order
+  smoothers P1/P2 and their former/later split ``S = S2 o S1``
+  (Sec. 4.3.2);
+* :mod:`repro.operators.stencil_meta` / ``footprint`` — machine-readable
+  Tables 1-3 and automatic footprint extraction.
+"""
+from repro.operators.geometry import WorkingGeometry
+from repro.operators.shifts import (
+    sx, sy, sz,
+    fill_pole_ghosts, fill_z_edge_ghosts,
+)
+from repro.operators.vertical import VerticalDiagnostics, compute_vertical_diagnostics
+from repro.operators.adaptation import adaptation_tendency
+from repro.operators.advection import advection_tendency
+from repro.operators.filter import PolarFilter
+from repro.operators.smoothing import (
+    FieldSmoother,
+    smooth_full,
+    smooth_state,
+    smoothers_for,
+)
+
+__all__ = [
+    "WorkingGeometry",
+    "sx", "sy", "sz",
+    "fill_pole_ghosts", "fill_z_edge_ghosts",
+    "VerticalDiagnostics", "compute_vertical_diagnostics",
+    "adaptation_tendency",
+    "advection_tendency",
+    "PolarFilter",
+    "FieldSmoother", "smooth_full", "smooth_state", "smoothers_for",
+]

@@ -1,0 +1,158 @@
+"""The adaptation stencil operator ``A-hat`` (Sec. 4.1).
+
+``A-tilde = C-hat + A-hat``: given the vertical-integral diagnostics
+produced by :func:`repro.operators.vertical.compute_vertical_diagnostics`
+(the ``C`` part), everything that remains — the pressure-gradient terms
+(Eq. 4), the Coriolis terms, the ``Omega`` terms (Eq. 5) and the surface
+dissipation ``D_sa`` (Eq. 6) — is a pure stencil computation.  This module
+evaluates exactly those terms.
+
+The paper's Eq. (2) writes the Coriolis pair as ``-f* V`` and ``-f* U``;
+a symmetric pair does not conserve kinetic energy, so (as in the IAP
+formulation it abbreviates) we implement the antisymmetric pair
+``dU/dt = -f* V``, ``dV/dt = +f* U`` appropriate for colatitude
+coordinates with V positive toward increasing colatitude (southward).
+
+All switches of Eq. (2) are evaluated under the standard-stratification
+approximation the paper states the model uses: ``delta = delta_p =
+delta_c = 0``, so the ``Phi`` tendency coefficient reduces to ``b``.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+from repro.constants import ModelParameters
+from repro.operators.geometry import WorkingGeometry
+from repro.operators.staggering import (
+    ddx_c2c,
+    ddx_c2u,
+    ddy_c2c,
+    ddy_c2v,
+    from_u,
+    from_v,
+    to_u,
+    to_v,
+    u_to_v,
+    v_to_u,
+)
+from repro.operators.shifts import sx, sy
+from repro.operators.vertical import VerticalDiagnostics
+from repro.state.variables import ModelState
+
+
+def surface_dissipation(psa: np.ndarray, geom: WorkingGeometry) -> np.ndarray:
+    """``D_sa`` of Eq. (6): spherical diffusion of the surface-pressure
+    perturbation.
+
+    With the constant standard-atmosphere density the divergence form
+    collapses to ``(k_sa nu / p0) Laplacian(p'_sa)`` on the sphere; the
+    diffusivity scale ``nu`` is :data:`repro.constants.NU_SA` (see its
+    docstring for the substitution note).
+    """
+    a = geom.grid.radius
+    dlam, dth = geom.grid.dlambda, geom.grid.dtheta
+    sin_c = geom.row2(geom.sin_c)
+    sin_v = geom.row2(geom.sin_v)
+    # d/dtheta ( sin theta * d psa / dtheta ) via interface fluxes
+    grad_y = ddy_c2v(psa, dth) * sin_v
+    lap_y = (grad_y - sy(grad_y, -1)) / dth
+    lap_x = (sx(psa, 1) - 2.0 * psa + sx(psa, -1)) / dlam**2
+    lap = lap_y / (a**2 * sin_c) + lap_x / (a**2 * sin_c**2)
+    return constants.K_SA * constants.NU_SA / constants.P_REFERENCE * lap
+
+
+def adaptation_tendency(
+    state: ModelState,
+    vd: VerticalDiagnostics,
+    geom: WorkingGeometry,
+    params: ModelParameters,
+) -> ModelState:
+    """Evaluate ``A-tilde(xi) = C-hat + A-hat`` given the ``C`` diagnostics.
+
+    Returns the adaptation tendency as a :class:`ModelState` on the working
+    shapes (valid on the interior minus one stencil radius; callers manage
+    ghost margins).
+    """
+    U, V, Phi, psa = state.U, state.V, state.Phi, state.psa
+    grid = geom.grid
+    a = grid.radius
+    dlam, dth = grid.dlambda, grid.dtheta
+    b = constants.B_GRAVITY_WAVE
+
+    # P and p_es are local (no z-collective) and therefore always fresh,
+    # even under the approximate nonlinear iteration; only the
+    # vertical-integral quantities (phi', W, column sum) may be stale.
+    from repro.state.transforms import p_factor
+
+    p_fac = p_factor(psa + constants.P_REFERENCE)
+    pes = p_fac**2 * constants.P_REFERENCE
+    phi_p = vd.phi_prime
+
+    # Barotropic reference pressure force.  Decomposing the sigma-coordinate
+    # pressure gradient about the standard stratification at *local*
+    # pressure leaves, besides P_(1) (from phi') and the T'-part P_(2), the
+    # exact residual  P * R * T~(p_s) * grad(ln p_es)  — the restoring
+    # force of the external (Lamb) mode, with wave speed sqrt(R T~_s).
+    # It is local (no vertical integral) so it belongs to the stencil
+    # operator A-hat.  We fold it into the P_(2) terms below by replacing
+    # b*Phi with (b*Phi + P * R * T~(p_s)).
+    from repro.operators.vertical import DEFAULT_REFERENCE
+
+    t_ref_surf = DEFAULT_REFERENCE.temperature(psa + constants.P_REFERENCE)
+    baro = (p_fac * constants.R_DRY * t_ref_surf)[None]
+
+    sin_c3 = geom.row3(geom.sin_c)
+    cos_c = geom.cos_c
+    cos_v = geom.cos_v
+
+    # ---- U tendency (U-points) -------------------------------------------
+    p_u = to_u(p_fac)[None]
+    pes_u = to_u(pes)[None]
+    p_lambda_1 = p_u * ddx_c2u(phi_p, dlam) / (a * sin_c3)
+    p_lambda_2 = (
+        (b * to_u(Phi) + to_u(baro[0])[None])
+        / pes_u * ddx_c2u(pes, dlam)[None] / (a * sin_c3)
+    )
+    u_phys_u = U / p_u
+    f_star_u = (
+        2.0 * constants.EARTH_OMEGA * geom.row3(cos_c)
+        + u_phys_u * geom.row3(cos_c / geom.sin_c) / a
+    )
+    v_bar_u = v_to_u(V)
+    tend_u = -p_lambda_1 - p_lambda_2 - f_star_u * v_bar_u
+
+    # ---- V tendency (V-rows) ----------------------------------------------
+    p_v = to_v(p_fac)[None]
+    pes_v = to_v(pes)[None]
+    p_theta_1 = p_v * ddy_c2v(phi_p, dth) / a
+    p_theta_2 = (
+        (b * to_v(Phi) + to_v(baro[0])[None])
+        / pes_v * ddy_c2v(pes, dth)[None] / a
+    )
+    u_bar_v = u_to_v(U)
+    f_star_v = (
+        2.0 * constants.EARTH_OMEGA * geom.row3(cos_v)
+        + (u_bar_v / p_v) * geom.row3(cos_v / geom.sin_v) / a
+    )
+    tend_v = -p_theta_1 - p_theta_2 + f_star_v * u_bar_v
+
+    # ---- Phi tendency (centres) ----------------------------------------------
+    w_mid = 0.5 * (vd.w_iface[:-1] + vd.w_iface[1:])
+    omega_1 = w_mid / geom.lev3(geom.sigma_mid) - vd.column_sum[None] / p_fac[None]
+    omega_2_theta = (
+        from_v(V) / pes[None] * ddy_c2c(pes, dth)[None] / a
+    )
+    omega_2_lambda = (
+        from_u(U) / pes[None] * ddx_c2c(pes, dlam)[None] / (a * sin_c3)
+    )
+    coeff = b * (1.0 + params.delta_c)  # delta_p = delta = 0 (std. stratification)
+    tend_phi = coeff * (omega_1 + omega_2_theta + omega_2_lambda)
+
+    # ---- p'_sa tendency (surface) -----------------------------------------------
+    d_sa = surface_dissipation(psa, geom)
+    tend_psa = constants.P_REFERENCE * (
+        constants.KAPPA_STAR * d_sa - vd.column_sum
+    )
+
+    return ModelState(U=tend_u, V=tend_v, Phi=tend_phi, psa=tend_psa)

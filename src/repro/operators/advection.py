@@ -1,0 +1,163 @@
+"""The advection operator ``L`` (Eq. 3): flux-form advection terms.
+
+``L1`` (zonal), ``L2`` (meridional) and ``L3`` (vertical) in the IAP
+"2F - F" antisymmetric flux form
+
+.. math::
+
+    L(F) = \\frac{1}{2}\\left( 2 \\nabla\\cdot(F c) - F \\nabla\\cdot c \\right)
+
+which conserves both the mean of ``F`` and of ``F^2`` in the continuum —
+the property behind the model's energy conservation.  Each prognostic
+field is advected in its own staggered frame with the advecting physical
+velocities averaged to its points.
+
+``L3`` consumes the interface ``sigma-dot`` diagnosed by the last
+application of the ``C`` operator; the advection process itself therefore
+needs no z-collective, matching the paper's operator form where no ``C``
+appears in the advection block of Eq. (8).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.operators.geometry import WorkingGeometry
+from repro.operators.staggering import (
+    ddx_c2c,
+    ddy_c2v,
+    ddy_v2c,
+    from_u,
+    from_v,
+    to_u,
+    to_v,
+    u_to_v,
+)
+from repro.operators.vertical import VerticalDiagnostics
+from repro.state.variables import ModelState
+
+
+def _l1(F: np.ndarray, u_phys: np.ndarray, sin_row: np.ndarray,
+        geom: WorkingGeometry) -> np.ndarray:
+    """Zonal advection ``L1(F)`` at F's own points."""
+    dlam = geom.grid.dlambda
+    a = geom.grid.radius
+    pre = 1.0 / (2.0 * a * sin_row)
+    return pre * (
+        2.0 * ddx_c2c(F * u_phys, dlam) - F * ddx_c2c(u_phys, dlam)
+    )
+
+
+def _l2_centre_rows(
+    F: np.ndarray,
+    v_iface: np.ndarray,
+    sin_iface: np.ndarray,
+    sin_own: np.ndarray,
+    geom: WorkingGeometry,
+) -> np.ndarray:
+    """Meridional advection ``L2(F)`` for a field on centre rows.
+
+    C-grid flux form: the flux ``to_v(F) * v * sin(theta)`` lives on the
+    V (interface) rows, so the theta-difference back to centre rows spans
+    only ``j - 1 .. j + 1`` — exactly the Table 2 extent.  ``v_iface`` is
+    the physical meridional velocity on the V rows (at F's x staggering).
+    """
+    dth = geom.grid.dtheta
+    a = geom.grid.radius
+    vs = v_iface * sin_iface
+    flux = to_v(F) * vs
+    return (2.0 * ddy_v2c(flux, dth) - F * ddy_v2c(vs, dth)) / (
+        2.0 * a * sin_own
+    )
+
+
+def _l2_v_rows(
+    F: np.ndarray,
+    v_centre: np.ndarray,
+    sin_centre: np.ndarray,
+    sin_own: np.ndarray,
+    geom: WorkingGeometry,
+) -> np.ndarray:
+    """Meridional advection ``L2(F)`` for a field on V rows.
+
+    The interface rows of the V family are the centre rows; the flux
+    ``from_v(F) * v * sin(theta)`` lives there.
+    """
+    dth = geom.grid.dtheta
+    a = geom.grid.radius
+    vs = v_centre * sin_centre
+    flux = from_v(F) * vs
+    return (2.0 * ddy_c2v(flux, dth) - F * ddy_c2v(vs, dth)) / (
+        2.0 * a * sin_own
+    )
+
+
+def _l3(F: np.ndarray, sdot_iface: np.ndarray, geom: WorkingGeometry) -> np.ndarray:
+    """Vertical convection ``L3(F)``.
+
+    ``sdot_iface`` has one more level than ``F`` (interface ``w`` above
+    level ``w``); at the physical model top/surface the interface values
+    vanish by construction of the ``C`` diagnostics, which is what closes
+    the flux form there.
+    """
+    nz_w = F.shape[0]
+    fbar = np.empty_like(sdot_iface)
+    fbar[1:nz_w] = 0.5 * (F[:-1] + F[1:])
+    fbar[0] = F[0]
+    fbar[nz_w] = F[-1]
+    flux = sdot_iface * fbar
+    dsig = geom.lev3(geom.dsigma)
+    dflux = (flux[1:] - flux[:-1]) / dsig
+    dsdot = (sdot_iface[1:] - sdot_iface[:-1]) / dsig
+    return dflux - 0.5 * F * dsdot
+
+
+def advection_tendency(
+    state: ModelState,
+    vd: VerticalDiagnostics,
+    geom: WorkingGeometry,
+) -> ModelState:
+    """Evaluate ``L-tilde(xi)``: the tendency ``-(L1 + L2 + L3)`` for
+    ``U``, ``V``, ``Phi`` and zero for ``p'_sa`` (Sec. 3)."""
+    U, V, Phi = state.U, state.V, state.Phi
+    # P is local and fresh; only sigma-dot is taken from the frozen bundle.
+    from repro import constants
+    from repro.state.transforms import p_factor
+
+    p_fac = p_factor(state.psa + constants.P_REFERENCE)
+    sin_c3 = geom.row3(geom.sin_c)
+    sin_v3 = geom.row3(geom.sin_v)
+
+    # physical advecting velocities at each field's points
+    p_u = to_u(p_fac)[None]
+    p_v = to_v(p_fac)[None]
+    u_at_u = U / p_u
+    u_at_v = u_to_v(U) / p_v
+    u_at_c = from_u(U) / p_fac[None]
+    # meridional velocity on the interface rows of each family
+    v_iface_c = V / p_v                      # V rows, centre x (for Phi)
+    v_iface_u = to_u(V) / to_u(p_v)          # V rows, U x-points (for U)
+    v_centre = from_v(V) / p_fac[None]       # centre rows (for V itself)
+
+    sdot_c = vd.sdot_iface
+    # average interface sigma-dot to U / V horizontal staggering
+    sdot_u = to_u(sdot_c)
+    sdot_v = to_v(sdot_c)
+
+    tend_u = -(
+        _l1(U, u_at_u, sin_c3, geom)
+        + _l2_centre_rows(U, v_iface_u, sin_v3, sin_c3, geom)
+        + _l3(U, sdot_u, geom)
+    )
+    tend_v = -(
+        _l1(V, u_at_v, sin_v3, geom)
+        + _l2_v_rows(V, v_centre, sin_c3, sin_v3, geom)
+        + _l3(V, sdot_v, geom)
+    )
+    tend_phi = -(
+        _l1(Phi, u_at_c, sin_c3, geom)
+        + _l2_centre_rows(Phi, v_iface_c, sin_v3, sin_c3, geom)
+        + _l3(Phi, sdot_c, geom)
+    )
+    return ModelState(
+        U=tend_u, V=tend_v, Phi=tend_phi, psa=np.zeros_like(state.psa)
+    )

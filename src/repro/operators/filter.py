@@ -1,0 +1,141 @@
+"""The Fourier polar filter ``F`` (Sec. 2.2 / 4.2.1).
+
+Grid lines of the latitude-longitude mesh cluster at the poles, so
+explicit time stepping would be CFL-limited by the tiny physical zonal
+spacing there.  The classical cure (Umscheid & Sankar-Rao 1971, the
+paper's [21]) is to damp, on every latitude circle poleward of a filter
+latitude, the zonal wavenumbers that the local physical resolution cannot
+support: wavenumber ``m`` is damped by ``min(1, (m_c / m)^2)`` with the
+cutoff ``m_c(theta) = (nx/2) * sin(theta) / cos(lat_f)``, which makes the
+effective zonal resolution at the filtered rows no finer than at the
+filter boundary.
+
+Under ``p_x > 1`` the per-row FFTs require a collective along x — the
+dominant communication term by Theorem 4.1; under the Y-Z decomposition
+each rank owns full rows and the filter is communication-free.  The filter
+object precomputes its damping factors once per geometry; applying it is
+one rfft / scale / irfft per filtered row family.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import ModelParameters
+from repro.operators.geometry import WorkingGeometry
+from repro.state.variables import ModelState
+
+
+#: available damping profiles (see :func:`damping_factors`)
+FILTER_PROFILES = ("quadratic", "sharp", "exponential")
+
+
+def damping_factors(
+    sin_rows: np.ndarray,
+    nx: int,
+    filter_latitude: float,
+    profile: str = "quadratic",
+) -> tuple[np.ndarray, np.ndarray]:
+    """(row mask, per-row factor matrix) for one row family.
+
+    ``sin_rows`` are the |sin(colatitude)| of the (possibly ghost-extended)
+    rows.  Returns ``mask`` of rows where any damping applies and
+    ``factors`` of shape ``(n_masked_rows, nx // 2 + 1)``.
+
+    The per-wavenumber damping beyond the local cutoff
+    ``m_c(theta) = (nx/2) sin(theta)/cos(lat_f)`` follows ``profile``:
+
+    * ``"quadratic"`` — ``min(1, (m_c/m)^2)``: gentle roll-off (default);
+    * ``"sharp"`` — hard cutoff: 1 for ``m <= m_c``, 0 above;
+    * ``"exponential"`` — Gaussian taper ``exp(-((m-m_c)/m_c)^2)`` above
+      the cutoff: the smoothest transition, least Gibbs ringing.
+    """
+    if profile not in FILTER_PROFILES:
+        raise ValueError(
+            f"unknown filter profile {profile!r}; pick from {FILTER_PROFILES}"
+        )
+    sin_f = float(np.cos(filter_latitude))
+    mask = sin_rows < sin_f
+    m = np.arange(nx // 2 + 1, dtype=np.float64)
+    m_c = np.maximum(1.0, (nx / 2.0) * sin_rows[mask] / sin_f)
+    if profile == "sharp":
+        factors = (m[None, :] <= m_c[:, None]).astype(np.float64)
+    elif profile == "exponential":
+        over = np.maximum(0.0, m[None, :] - m_c[:, None]) / m_c[:, None]
+        factors = np.exp(-(over**2))
+    else:  # quadratic
+        with np.errstate(divide="ignore"):
+            ratio = m_c[:, None] / np.where(m > 0, m, 1.0)[None, :]
+        factors = np.minimum(1.0, ratio**2)
+    factors[:, 0] = 1.0  # never touch the zonal mean
+    return mask, factors
+
+
+class PolarFilter:
+    """Per-geometry polar filter over full latitude circles.
+
+    Requires ``geom.full_x`` (serial or Y-Z decomposition); the X-Y
+    distributed core gathers rows along its x sub-communicator and calls
+    :func:`apply_filter_rows` on the assembled circles instead.
+    """
+
+    def __init__(self, geom: WorkingGeometry, params: ModelParameters) -> None:
+        if not geom.full_x:
+            raise ValueError(
+                "PolarFilter needs full latitude circles; "
+                "use apply_filter_rows after an x-gather instead"
+            )
+        self.geom = geom
+        self.params = params
+        nx = geom.grid.nx
+        profile = getattr(params, "filter_profile", "quadratic")
+        self.mask_c, self.factors_c = damping_factors(
+            geom.sin_c, nx, params.filter_latitude, profile
+        )
+        self.mask_v, self.factors_v = damping_factors(
+            geom.sin_v, nx, params.filter_latitude, profile
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether any working row is filtered."""
+        return bool(self.mask_c.any() or self.mask_v.any())
+
+    @property
+    def n_filtered_rows(self) -> int:
+        """Number of filtered rows across both row families."""
+        return int(self.mask_c.sum() + self.mask_v.sum())
+
+    def apply(self, arr: np.ndarray, rows: str = "c") -> None:
+        """Filter ``arr`` in place along x on its filtered rows.
+
+        ``rows`` selects the row family: ``"c"`` for centre-row fields
+        (U, Phi, p'_sa), ``"v"`` for V-row fields.
+        """
+        mask, factors = (
+            (self.mask_c, self.factors_c) if rows == "c" else (self.mask_v, self.factors_v)
+        )
+        if not mask.any():
+            return
+        apply_filter_rows(arr, mask, factors)
+
+    def apply_state(self, state: ModelState) -> ModelState:
+        """Filter all four components of a state/tendency in place; returns it."""
+        self.apply(state.U, rows="c")
+        self.apply(state.V, rows="v")
+        self.apply(state.Phi, rows="c")
+        self.apply(state.psa, rows="c")
+        return state
+
+
+def apply_filter_rows(
+    arr: np.ndarray, mask: np.ndarray, factors: np.ndarray
+) -> None:
+    """rfft / damp / irfft the masked rows of ``arr`` in place.
+
+    ``arr`` is ``(..., ny_w, nx)`` with the *full* longitude circle on the
+    last axis; ``factors`` matches :func:`damping_factors` output.
+    """
+    rows = arr[..., mask, :]
+    spec = np.fft.rfft(rows, axis=-1)
+    spec *= factors
+    arr[..., mask, :] = np.fft.irfft(spec, n=arr.shape[-1], axis=-1)

@@ -1,0 +1,94 @@
+"""Automatic stencil-footprint extraction by perturbation probing.
+
+To verify our discrete operators against the paper's Tables 1-3 we measure
+which input offsets actually influence an output point: perturb the input
+field at a single mesh point, re-evaluate the operator, and record every
+output point whose value changed.  The set of (output - input) offsets is
+the measured footprint (transposed: we report which *inputs* an output
+depends on, i.e. the negated influence offsets).
+
+Probing is done away from poles and vertical boundaries so the generic
+stencil is measured, not the boundary treatment.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Measured dependency offsets of one operator output."""
+
+    x: tuple[int, ...]
+    y: tuple[int, ...]
+    z: tuple[int, ...]
+
+    def within(self, x: tuple[int, ...], y: tuple[int, ...], z: tuple[int, ...]) -> bool:
+        """Whether this footprint is contained in the declared offsets."""
+        return (
+            set(self.x) <= set(x) and set(self.y) <= set(y) and set(self.z) <= set(z)
+        )
+
+    @property
+    def radii(self) -> tuple[int, int, int]:
+        return (
+            max((abs(o) for o in self.x), default=0),
+            max((abs(o) for o in self.y), default=0),
+            max((abs(o) for o in self.z), default=0),
+        )
+
+
+def probe_footprint(
+    op: Callable[[np.ndarray], np.ndarray],
+    shape: tuple[int, int, int],
+    probe_point: tuple[int, int, int] | None = None,
+    base: np.ndarray | None = None,
+    eps: float = 1e-6,
+    rel_tol: float = 1e-10,
+) -> Footprint:
+    """Measure which input offsets influence each output point of ``op``.
+
+    ``op`` maps an input array of ``shape`` ``(nz, ny, nx)`` to an output
+    of the same shape.  ``base`` is the linearization point (defaults to a
+    fixed smooth field so nonlinear operators are probed at a generic
+    state).  Returns the union of dependencies over output points, as
+    input-relative offsets.
+    """
+    nz, ny, nx = shape
+    if probe_point is None:
+        probe_point = (nz // 2, ny // 2, nx // 2)
+    kp, jp, ip = probe_point
+    if base is None:
+        k, j, i = np.meshgrid(
+            np.arange(nz), np.arange(ny), np.arange(nx), indexing="ij"
+        )
+        base = 1.0 + 0.1 * np.sin(0.3 * i + 0.5 * j + 0.7 * k)
+    out0 = op(base.copy())
+    bumped = base.copy()
+    bumped[kp, jp, ip] += eps
+    out1 = op(bumped)
+    delta = np.abs(out1 - out0)
+    if delta.max() == 0.0:
+        return Footprint(x=(), y=(), z=())
+    # relative threshold: offsets whose influence is many orders below the
+    # dominant one are numerical noise, not stencil dependencies
+    hits = np.argwhere(delta > rel_tol * float(delta.max()))
+    xs, ys, zs = set(), set(), set()
+    for kq, jq, iq in hits:
+        # output at (kq,jq,iq) depends on the input at the probe point:
+        # as an input-relative offset, input = output + (probe - output)
+        dz, dy, dx = kp - kq, jp - jq, ip - iq
+        # normalize periodic x to the short way around
+        if dx > nx // 2:
+            dx -= nx
+        elif dx < -(nx // 2):
+            dx += nx
+        xs.add(int(dx))
+        ys.add(int(dy))
+        zs.add(int(dz))
+    return Footprint(
+        x=tuple(sorted(xs)), y=tuple(sorted(ys)), z=tuple(sorted(zs))
+    )

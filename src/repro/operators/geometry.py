@@ -1,0 +1,186 @@
+"""Working-array geometry: local (or global) extents, ghosts and metrics.
+
+A :class:`WorkingGeometry` describes the arrays one rank (or the serial
+core) operates on: the owned index block, the ghost widths, and metric
+arrays (``sin``/``cos`` of colatitude, sigma-level thicknesses) extended
+over the ghost rows with the physically correct mirror values.
+
+The cross-pole extension uses that for a ghost colatitude ``theta``
+outside ``[0, pi]`` the mirrored physical point has
+``sin(theta_phys) = |sin(theta)|`` and ``cos(theta_phys) = cos(theta)``
+(cosine is even about both poles), so the metric arrays can simply be
+evaluated on the extended colatitudes.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.decomposition import BlockExtent
+from repro.grid.latlon import LatLonGrid
+from repro.grid.sigma import SigmaLevels
+
+
+@dataclass(frozen=True)
+class WorkingGeometry:
+    """Geometry of one rank's ghost-extended working arrays.
+
+    Build with :meth:`build`; for the serial reference use
+    :meth:`build_global`.
+    """
+
+    grid: LatLonGrid
+    sigma: SigmaLevels
+    extent: BlockExtent
+    gy: int
+    gz: int
+    gx: int
+
+    # extended metric arrays, filled by build()
+    theta_c: np.ndarray = field(init=False, repr=False, compare=False)
+    theta_v: np.ndarray = field(init=False, repr=False, compare=False)
+    sin_c: np.ndarray = field(init=False, repr=False, compare=False)
+    cos_c: np.ndarray = field(init=False, repr=False, compare=False)
+    sin_v: np.ndarray = field(init=False, repr=False, compare=False)
+    cos_v: np.ndarray = field(init=False, repr=False, compare=False)
+    sigma_mid: np.ndarray = field(init=False, repr=False, compare=False)
+    dsigma: np.ndarray = field(init=False, repr=False, compare=False)
+    sigma_iface: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        ext, gy, gz = self.extent, self.gy, self.gz
+        grid = self.grid
+        dth = grid.dtheta
+        # extended centre-row colatitudes (may leave [0, pi]; see module doc)
+        j = np.arange(ext.y0 - gy, ext.y1 + gy)
+        theta_c = (j + 0.5) * dth
+        theta_v = (j + 1.0) * dth
+        sin_c = np.abs(np.sin(theta_c))
+        cos_c = np.cos(theta_c)
+        sin_v = np.abs(np.sin(theta_v))
+        cos_v = np.cos(theta_v)
+        # guard: |sin| can be exactly 0 only on a pole *interface* row,
+        # where V vanishes identically; centre rows never hit 0 because
+        # theta_c is offset by dth/2 from the poles.
+        sin_v = np.where(sin_v == 0.0, np.sin(0.5 * dth), sin_v)
+
+        # extended sigma levels: edge-replicated ghosts
+        k = np.arange(ext.z0 - gz, ext.z1 + gz)
+        kc = np.clip(k, 0, grid.nz - 1)
+        sigma_mid = self.sigma.mid[kc]
+        dsigma = self.sigma.dsigma[kc]
+        ki = np.arange(ext.z0 - gz, ext.z1 + gz + 1)
+        kic = np.clip(ki, 0, grid.nz)
+        sigma_iface = self.sigma.interfaces[kic]
+
+        object.__setattr__(self, "theta_c", theta_c)
+        object.__setattr__(self, "theta_v", theta_v)
+        object.__setattr__(self, "sin_c", sin_c)
+        object.__setattr__(self, "cos_c", cos_c)
+        object.__setattr__(self, "sin_v", sin_v)
+        object.__setattr__(self, "cos_v", cos_v)
+        object.__setattr__(self, "sigma_mid", sigma_mid)
+        object.__setattr__(self, "dsigma", dsigma)
+        object.__setattr__(self, "sigma_iface", sigma_iface)
+
+    # ---- constructors ----------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        grid: LatLonGrid,
+        sigma: SigmaLevels,
+        extent: BlockExtent,
+        gy: int,
+        gz: int,
+        gx: int = 0,
+    ) -> "WorkingGeometry":
+        """Geometry for a rank owning ``extent`` with the given ghost widths."""
+        if sigma.nz != grid.nz:
+            raise ValueError("sigma levels inconsistent with grid nz")
+        if gx > 0 and extent.nx == grid.nx:
+            raise ValueError("full-longitude blocks must use gx = 0")
+        return cls(grid=grid, sigma=sigma, extent=extent, gy=gy, gz=gz, gx=gx)
+
+    @classmethod
+    def build_global(
+        cls, grid: LatLonGrid, sigma: SigmaLevels, gy: int, gz: int
+    ) -> "WorkingGeometry":
+        """Geometry of the serial reference core (whole mesh, x full)."""
+        ext = BlockExtent(0, grid.nx, 0, grid.ny, 0, grid.nz)
+        return cls.build(grid, sigma, ext, gy=gy, gz=gz, gx=0)
+
+    # ---- shapes -----------------------------------------------------------
+    @property
+    def shape3d(self) -> tuple[int, int, int]:
+        """Working 3-D array shape ``(nz_w, ny_w, nx_w)``."""
+        return (
+            self.extent.nz + 2 * self.gz,
+            self.extent.ny + 2 * self.gy,
+            self.extent.nx + 2 * self.gx,
+        )
+
+    @property
+    def shape2d(self) -> tuple[int, int]:
+        """Working surface-array shape ``(ny_w, nx_w)``."""
+        return self.shape3d[1:]
+
+    @property
+    def full_x(self) -> bool:
+        """Whether this block owns complete latitude circles."""
+        return self.extent.nx == self.grid.nx and self.gx == 0
+
+    # ---- boundary flags ------------------------------------------------------
+    @property
+    def touches_north(self) -> bool:
+        return self.extent.y0 == 0
+
+    @property
+    def touches_south(self) -> bool:
+        return self.extent.y1 == self.grid.ny
+
+    @property
+    def touches_top(self) -> bool:
+        return self.extent.z0 == 0
+
+    @property
+    def touches_bottom(self) -> bool:
+        return self.extent.z1 == self.grid.nz
+
+    # ---- broadcast helpers ------------------------------------------------------
+    def row3(self, row_array: np.ndarray) -> np.ndarray:
+        """Reshape a per-row array ``(ny_w,)`` for 3-D broadcasting."""
+        return row_array[None, :, None]
+
+    def row2(self, row_array: np.ndarray) -> np.ndarray:
+        """Reshape a per-row array ``(ny_w,)`` for 2-D broadcasting."""
+        return row_array[:, None]
+
+    def lev3(self, level_array: np.ndarray) -> np.ndarray:
+        """Reshape a per-level array ``(nz_w,)`` for 3-D broadcasting."""
+        return level_array[:, None, None]
+
+    # ---- physical spacings -----------------------------------------------------
+    @property
+    def a_dlambda(self) -> float:
+        """``a * dlambda`` — the zonal spacing before the sin(theta) factor."""
+        return self.grid.radius * self.grid.dlambda
+
+    @property
+    def a_dtheta(self) -> float:
+        """``a * dtheta`` — the meridional spacing."""
+        return self.grid.radius * self.grid.dtheta
+
+    def interior3d(self, a: np.ndarray) -> np.ndarray:
+        """Interior view of a 3-D working array."""
+        nz_w, ny_w, nx_w = a.shape
+        return a[
+            self.gz: nz_w - self.gz or None,
+            self.gy: ny_w - self.gy or None,
+            self.gx: nx_w - self.gx or None,
+        ]
+
+    def interior2d(self, a: np.ndarray) -> np.ndarray:
+        """Interior view of a 2-D working array."""
+        ny_w, nx_w = a.shape
+        return a[self.gy: ny_w - self.gy or None, self.gx: nx_w - self.gx or None]

@@ -1,0 +1,168 @@
+"""The smoothing operator ``S`` and its former/later split (Sec. 4.3.2).
+
+``S(xi) = (P1(U), P1(V), P2(Phi), P2(p'_sa))`` with the 4th-difference
+smoothers
+
+.. math::
+
+    P_1(\\varphi) = \\varphi - \\frac{\\beta}{2^4} \\delta_\\lambda^4 \\varphi,
+    \\qquad
+    P_2(\\varphi) = \\varphi - \\frac{\\beta}{2^4}
+        (\\delta_\\lambda^4 + \\delta_\\theta^4) \\varphi
+        + \\frac{\\beta^2}{2^8} \\delta_\\theta^4 \\delta_\\lambda^4 \\varphi .
+
+Both are linear in the contributions of the five y-offsets ``m = -2..2``
+(Eq. 14), which is what enables the split ``S = S2 o S1``: *former
+smoothing* applies, before the halo exchange, the offsets whose rows are
+locally available; *later smoothing* adds the deferred offsets once the
+exchanged rows arrive.  :class:`FieldSmoother` provides the full operator
+and arbitrary offset subsets; the communication-avoiding core composes the
+two stages from them.
+
+Stability extension (documented in DESIGN.md): the paper's ``P1`` damps
+``U``/``V`` along longitude only, which leaves meridional 2-grid noise in
+the winds undamped; with our (non-IAP) advection discretization that noise
+grows in long Held-Suarez runs.  ``FieldSmoother`` therefore supports an
+optional ``beta_y`` 4th-difference term for the wind family
+(``ModelParameters.smoothing_beta_y_uv``; set it to 0 for the paper-exact
+operator).  The stencil extent stays within +-2 in x and y, so halo sizing
+and the communication model are unchanged.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import ModelParameters
+from repro.operators.shifts import sx, sy
+from repro.state.variables import ModelState
+
+#: 4th-difference weights for offsets -2..+2.
+DELTA4_COEFFS = (1.0, -4.0, 6.0, -4.0, 1.0)
+
+#: Offset subsets of the split (paper notation; ``m`` = contribution of
+#: row ``j + m``):  S_L needs only north (smaller-j) rows, S_R only south.
+OFFSETS_FULL = (-2, -1, 0, 1, 2)
+OFFSETS_L = (0, -1, -2)       # S~_L:  own + north rows
+OFFSETS_L_PRIME = (1, 2)      # S~'_L: the deferred south rows
+OFFSETS_R = (0, 1, 2)         # S~_R:  own + south rows
+OFFSETS_R_PRIME = (-1, -2)    # S~'_R: the deferred north rows
+
+
+def delta4_x(a: np.ndarray) -> np.ndarray:
+    """4th difference along longitude."""
+    return sx(a, -2) - 4.0 * sx(a, -1) + 6.0 * a - 4.0 * sx(a, 1) + sx(a, 2)
+
+
+def delta4_y(a: np.ndarray) -> np.ndarray:
+    """4th difference along latitude."""
+    return sy(a, -2) - 4.0 * sy(a, -1) + 6.0 * a - 4.0 * sy(a, 1) + sy(a, 2)
+
+
+@dataclass(frozen=True)
+class FieldSmoother:
+    """One field family's smoother, decomposable by y-offset.
+
+    ``cross=True`` gives the paper's ``P2`` (with the
+    ``beta^2/2^8 delta_theta^4 delta_lambda^4`` cross term); ``cross=False``
+    with ``beta_y=0`` gives the paper's ``P1``.
+    """
+
+    beta_x: float
+    beta_y: float
+    cross: bool
+
+    def full(self, a: np.ndarray) -> np.ndarray:
+        """Apply the complete smoother."""
+        out = a - (self.beta_x / 16.0) * delta4_x(a)
+        if self.beta_y:
+            out = out - (self.beta_y / 16.0) * delta4_y(a)
+        if self.cross:
+            out = out + (
+                self.beta_x * self.beta_y / 256.0
+            ) * delta4_y(delta4_x(a))
+        return out
+
+    def offset_term(self, a: np.ndarray, m: int) -> np.ndarray:
+        """The contribution ``S~_m`` of row ``j + m`` (Eq. 14).
+
+        Summing over all five offsets reproduces :meth:`full` exactly
+        (the x-operator commutes with row shifts).
+        """
+        c = DELTA4_COEFFS[m + 2]
+        shifted = sy(a, m) if m else a
+        term = np.zeros_like(a)
+        if self.beta_y:
+            term = term - (self.beta_y / 16.0) * c * shifted
+        if self.cross:
+            term = term + (
+                self.beta_x * self.beta_y / 256.0
+            ) * c * delta4_x(shifted)
+        if m == 0:
+            term = term + a - (self.beta_x / 16.0) * delta4_x(a)
+        return term
+
+    def partial(self, a: np.ndarray, offsets: tuple[int, ...]) -> np.ndarray:
+        """``sum_{m in offsets} S~_m(a)`` — one partial smoothing stage."""
+        if not offsets:
+            raise ValueError("offsets must be non-empty")
+        out = None
+        for m in offsets:
+            term = self.offset_term(a, m)
+            out = term if out is None else out + term
+        return out
+
+    @property
+    def has_y_stencil(self) -> bool:
+        """Whether any deferred (non-zero-offset) contribution exists."""
+        return bool(self.beta_y)
+
+
+def smoothers_for(params: ModelParameters) -> dict[str, FieldSmoother]:
+    """Per-field smoothers matching ``S`` (plus the stability extension)."""
+    beta = params.smoothing_beta
+    beta_uv = getattr(params, "smoothing_beta_y_uv", 0.0)
+    wind = FieldSmoother(beta_x=beta, beta_y=beta_uv, cross=False)
+    scalar = FieldSmoother(beta_x=beta, beta_y=beta, cross=True)
+    return {"U": wind, "V": wind, "Phi": scalar, "psa": scalar}
+
+
+# ---- convenience for the paper-exact standalone operators ------------------
+
+def p1(a: np.ndarray, beta: float) -> np.ndarray:
+    """The paper's zonal-only smoother (``U``/``V`` family)."""
+    return FieldSmoother(beta_x=beta, beta_y=0.0, cross=False).full(a)
+
+
+def p2(a: np.ndarray, beta: float) -> np.ndarray:
+    """The paper's full smoother (``Phi``/``p'_sa`` family)."""
+    return FieldSmoother(beta_x=beta, beta_y=beta, cross=True).full(a)
+
+
+def smooth_full(
+    state: ModelState, beta: float, beta_y_uv: float = 0.0
+) -> ModelState:
+    """The whole operator ``S`` applied to a state.
+
+    ``beta_y_uv = 0`` reproduces the paper's definition exactly.
+    """
+    wind = FieldSmoother(beta_x=beta, beta_y=beta_y_uv, cross=False)
+    scalar = FieldSmoother(beta_x=beta, beta_y=beta, cross=True)
+    return ModelState(
+        U=wind.full(state.U),
+        V=wind.full(state.V),
+        Phi=scalar.full(state.Phi),
+        psa=scalar.full(state.psa),
+    )
+
+
+def smooth_state(state: ModelState, params: ModelParameters) -> ModelState:
+    """``S`` with the per-field smoothers of ``params``."""
+    sm = smoothers_for(params)
+    return ModelState(
+        U=sm["U"].full(state.U),
+        V=sm["V"].full(state.V),
+        Phi=sm["Phi"].full(state.Phi),
+        psa=sm["psa"].full(state.psa),
+    )

@@ -1,0 +1,87 @@
+"""Arakawa C-grid staggering and finite-difference primitives.
+
+Point naming (Sec. 2.2): scalars at cell centres ``(i, j)``; ``U`` at the
+zonal interface ``(i - 1/2, j)`` stored with index ``i``; ``V`` at the
+meridional interface ``(i, j + 1/2)`` stored with index ``j``.  All
+helpers are shape-preserving (see :mod:`repro.operators.shifts` for the
+ghost/validity discipline).
+
+Derivatives are divided by the *coordinate* spacings ``dlambda`` /
+``dtheta``; the metric factors ``1/(a sin theta)`` and ``1/a`` are applied
+by the calling operators because they differ between U-rows and V-rows.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.operators.shifts import sx, sy
+
+
+# ---- averaging between staggered points ----------------------------------
+
+def to_u(a: np.ndarray) -> np.ndarray:
+    """Centre field -> U-points: ``out[i] = (a[i-1] + a[i]) / 2``."""
+    return 0.5 * (sx(a, -1) + a)
+
+
+def from_u(a: np.ndarray) -> np.ndarray:
+    """U-point field -> centres: ``out[i] = (a[i] + a[i+1]) / 2``."""
+    return 0.5 * (a + sx(a, 1))
+
+
+def to_v(a: np.ndarray) -> np.ndarray:
+    """Centre field -> V-rows: ``out[j] = (a[j] + a[j+1]) / 2``."""
+    return 0.5 * (a + sy(a, 1))
+
+
+def from_v(a: np.ndarray) -> np.ndarray:
+    """V-row field -> centres: ``out[j] = (a[j-1] + a[j]) / 2``."""
+    return 0.5 * (sy(a, -1) + a)
+
+
+def v_to_u(a: np.ndarray) -> np.ndarray:
+    """V-point field -> U-points (4-point average).
+
+    ``out[j, i] = (a[j-1, i-1] + a[j-1, i] + a[j, i-1] + a[j, i]) / 4``.
+    """
+    return 0.25 * (sy(sx(a, -1), -1) + sy(a, -1) + sx(a, -1) + a)
+
+
+def u_to_v(a: np.ndarray) -> np.ndarray:
+    """U-point field -> V-points (4-point average).
+
+    ``out[j, i] = (a[j, i] + a[j, i+1] + a[j+1, i] + a[j+1, i+1]) / 4``.
+    """
+    return 0.25 * (a + sx(a, 1) + sy(a, 1) + sy(sx(a, 1), 1))
+
+
+# ---- coordinate derivatives ------------------------------------------------
+
+def ddx_c2u(a: np.ndarray, dlam: float) -> np.ndarray:
+    """d/dlambda of a centre field, at U-points."""
+    return (a - sx(a, -1)) / dlam
+
+
+def ddx_u2c(a: np.ndarray, dlam: float) -> np.ndarray:
+    """d/dlambda of a U-point field, at centres."""
+    return (sx(a, 1) - a) / dlam
+
+
+def ddx_c2c(a: np.ndarray, dlam: float) -> np.ndarray:
+    """Centred d/dlambda of a centre field, at centres."""
+    return (sx(a, 1) - sx(a, -1)) / (2.0 * dlam)
+
+
+def ddy_c2v(a: np.ndarray, dth: float) -> np.ndarray:
+    """d/dtheta of a centre field, at V-rows."""
+    return (sy(a, 1) - a) / dth
+
+
+def ddy_v2c(a: np.ndarray, dth: float) -> np.ndarray:
+    """d/dtheta of a V-row field, at centres."""
+    return (a - sy(a, -1)) / dth
+
+
+def ddy_c2c(a: np.ndarray, dth: float) -> np.ndarray:
+    """Centred d/dtheta of a centre field, at centres."""
+    return (sy(a, 1) - sy(a, -1)) / (2.0 * dth)

@@ -1,0 +1,286 @@
+"""The collection operator ``C``: vertical-integral diagnostics.
+
+The fourth component of the adaptation function sums ``Delta sigma_k *
+D(P)`` over the whole column (Sec. 4.1); the same column integrals also
+yield the interface vertical velocities (``PW``, ``W``, ``sigma-dot``) used
+by ``Omega^(1)`` and ``L3``, and the hydrostatic geopotential perturbation
+``phi'`` used by the pressure-gradient terms.  Under a decomposition with
+``p_z > 1`` all of them require one collective along the z direction — this
+is exactly the communication the paper's operator ``C`` stands for, and the
+one whose frequency the approximate nonlinear iteration (Sec. 4.2.2)
+reduces.
+
+The collective is implemented as a single allgather along the z
+sub-communicator of the per-level contributions (two stacked fields), after
+which each rank holds the full column and computes all integrals locally.
+Ring allgather matches the data-movement lower bound of Theorem 4.2.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro import constants
+from repro.operators.geometry import WorkingGeometry
+from repro.operators.staggering import ddx_u2c, ddy_v2c, to_u, to_v
+from repro.state.standard_atmosphere import StandardAtmosphere
+from repro.state.transforms import p_factor
+
+#: Default reference stratification shared by every operator call.
+DEFAULT_REFERENCE = StandardAtmosphere()
+
+
+#: Type of the z-direction gather hook: maps the owned-level contribution
+#: stack ``(2, nz_own, ny_w, nx_w)`` to the full-column stack
+#: ``(2, nz, ny_w, nx_w)``.  ``None`` means the caller owns the full column.
+GatherFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class VerticalDiagnostics:
+    """Output bundle of one application of the ``C`` operator.
+
+    All arrays are sized to the *working* (ghost-extended) shapes.
+
+    Attributes
+    ----------
+    div_p:
+        ``D(P)`` at centres, ``(nz_w, ny_w, nx_w)`` (reused by the
+        adaptation stencil terms).
+    column_sum:
+        ``S_T = sum_k Delta sigma_k D(P)_k`` over the full column,
+        ``(ny_w, nx_w)``.
+    pw_iface, w_iface, sdot_iface:
+        ``PW``, ``W = PW / P`` and ``sigma-dot = PW / P^2`` on the working
+        z interfaces, ``(nz_w + 1, ny_w, nx_w)``; interface ``w`` sits above
+        level ``w`` (i.e. at global interface ``z0 - gz + w``).
+    phi_prime:
+        Hydrostatic geopotential perturbation at mid-levels,
+        ``(nz_w, ny_w, nx_w)``.
+    p_fac:
+        The transform factor ``P`` at centres, ``(ny_w, nx_w)``.
+    """
+
+    div_p: np.ndarray
+    column_sum: np.ndarray
+    pw_iface: np.ndarray
+    w_iface: np.ndarray
+    sdot_iface: np.ndarray
+    phi_prime: np.ndarray
+    p_fac: np.ndarray
+
+
+def divergence_dp(
+    U: np.ndarray, V: np.ndarray, p_fac: np.ndarray, geom: WorkingGeometry
+) -> np.ndarray:
+    """``D(P) = (1/(a sin theta)) (d(PU)/dlambda + d(PV sin theta)/dtheta)``.
+
+    Eq. (6), evaluated at cell centres with the natural C-grid flux
+    differences (U fluxes at zonal interfaces, V fluxes at meridional
+    interfaces).
+    """
+    a = geom.grid.radius
+    flux_x = to_u(p_fac)[None] * U
+    dflux_x = ddx_u2c(flux_x, geom.grid.dlambda)
+    flux_y = (to_v(p_fac) * geom.row2(geom.sin_v))[None] * V
+    dflux_y = ddy_v2c(flux_y, geom.grid.dtheta)
+    return (dflux_x + dflux_y) / (a * geom.row3(geom.sin_c))
+
+
+def compute_vertical_diagnostics(
+    U: np.ndarray,
+    V: np.ndarray,
+    Phi: np.ndarray,
+    psa: np.ndarray,
+    geom: WorkingGeometry,
+    gather: GatherFn | None = None,
+    reference: StandardAtmosphere = DEFAULT_REFERENCE,
+) -> VerticalDiagnostics:
+    """Apply the ``C`` operator.
+
+    Parameters
+    ----------
+    U, V, Phi, psa:
+        Working arrays (ghosts filled to at least width 1 in y).
+    geom:
+        Working geometry; its extent defines which z levels are *owned*
+        (ghost levels are excluded from the column contributions so they
+        are never double counted).
+    gather:
+        The z-collective hook; ``None`` for serial / ``p_z = 1``.
+    """
+    ps = psa + constants.P_REFERENCE
+    p_fac = p_factor(ps)
+
+    div_p = divergence_dp(U, V, p_fac, geom)
+
+    gz = geom.gz
+    nz_w = U.shape[0]
+    nz_own = geom.extent.nz
+    owned = slice(gz, gz + nz_own)
+
+    # per-level contributions on owned levels
+    dsig_own = geom.lev3(geom.dsigma[owned])
+    sig_own = geom.lev3(geom.sigma_mid[owned])
+    contrib_div = dsig_own * div_p[owned]               # for PW / column sum
+    contrib_phi = (dsig_own / sig_own) * Phi[owned]     # for phi'
+
+    stack = np.stack([contrib_div, contrib_phi])
+    if gather is not None:
+        stack = gather(stack)
+    if stack.shape[1] != geom.grid.nz:
+        raise ValueError(
+            f"column stack has {stack.shape[1]} levels, expected {geom.grid.nz}"
+        )
+    col_div, col_phi = stack[0], stack[1]
+
+    # global prefix sums at interfaces: S_iface[k] = sum_{l<k} contrib[l]
+    ny_w, nx_w = p_fac.shape
+    s_iface = np.zeros((geom.grid.nz + 1, ny_w, nx_w))
+    np.cumsum(col_div, axis=0, out=s_iface[1:])
+    column_sum = s_iface[-1]
+
+    # suffix sums of the phi' contributions: H_suffix[k] = sum_{l>=k} h_l
+    h_suffix = np.zeros((geom.grid.nz + 1, ny_w, nx_w))
+    h_suffix[:-1] = np.cumsum(col_phi[::-1], axis=0)[::-1]
+
+    # slice the global interface/level ranges down to the working window
+    k_if = np.clip(
+        np.arange(geom.extent.z0 - gz, geom.extent.z1 + gz + 1), 0, geom.grid.nz
+    )
+    k_lev = np.clip(
+        np.arange(geom.extent.z0 - gz, geom.extent.z1 + gz), 0, geom.grid.nz - 1
+    )
+
+    sig_if = geom.sigma_iface[:, None, None]
+    pw_iface = sig_if * column_sum[None] - s_iface[k_if]
+    w_iface = pw_iface / p_fac[None]
+    sdot_iface = pw_iface / (p_fac[None] ** 2)
+
+    # phi'_k = (b / P) * (suffix_k - h_k / 2)   (half-level centring).
+    # This is the perturbation integral of T'' = T - T~(p_local); the
+    # reference part of the sigma-coordinate pressure-gradient force does
+    # NOT vanish but collapses to the barotropic term
+    # R T~(p_s) grad(ln p_es), which lives in the adaptation operator's
+    # pressure-gradient terms (see repro.operators.adaptation).
+    h_lev = col_phi[k_lev]
+    phi_prime = (
+        constants.B_GRAVITY_WAVE / p_fac[None]
+        * (h_suffix[k_lev] - 0.5 * h_lev)
+    )
+
+    if nz_w != phi_prime.shape[0]:  # pragma: no cover - internal consistency
+        raise AssertionError("working level count mismatch")
+
+    return VerticalDiagnostics(
+        div_p=div_p,
+        column_sum=column_sum,
+        pw_iface=pw_iface,
+        w_iface=w_iface,
+        sdot_iface=sdot_iface,
+        phi_prime=phi_prime,
+        p_fac=p_fac,
+    )
+
+
+def compute_vertical_diagnostics_scan(
+    U: np.ndarray,
+    V: np.ndarray,
+    Phi: np.ndarray,
+    psa: np.ndarray,
+    geom: WorkingGeometry,
+    exscan: Callable[[np.ndarray], np.ndarray],
+    allreduce: Callable[[np.ndarray], np.ndarray],
+    reference: StandardAtmosphere = DEFAULT_REFERENCE,
+) -> VerticalDiagnostics:
+    """The ``C`` operator via exscan + allreduce (volume-optimal variant).
+
+    The allgather implementation moves ``(p_z - 1) * n`` words per rank;
+    prefix sums only need each rank's *partial sums*, so an exclusive scan
+    plus an allreduce of the column totals moves ``O(n)`` — matching the
+    Theorem 4.2 lower bound's ring constant.  Identical results to
+    :func:`compute_vertical_diagnostics` (up to summation order round-off).
+
+    ``exscan(x)`` must return the sum of ``x`` over all z-ranks *before*
+    this one (zeros on the first); ``allreduce(x)`` the sum over all
+    z-ranks.  Both operate on arrays of shape ``(2, ny_w, nx_w)`` — the
+    stacked divergence and phi' contributions.
+    """
+    ps = psa + constants.P_REFERENCE
+    p_fac = p_factor(ps)
+    div_p = divergence_dp(U, V, p_fac, geom)
+
+    gz = geom.gz
+    nz_w = U.shape[0]
+    nz_own = geom.extent.nz
+    owned = slice(gz, gz + nz_own)
+
+    # contributions on ALL working levels (D(P) has no z-stencil, so ghost
+    # levels are locally computable); ghost rows use clipped sigma values
+    dsig_w = geom.lev3(geom.dsigma)
+    sig_w = geom.lev3(geom.sigma_mid)
+    contrib_div_w = dsig_w * div_p
+    contrib_phi_w = (dsig_w / sig_w) * Phi
+    # zero the ghost contributions that fall outside the physical column
+    # (edge-replicated sigma would otherwise double-count at the domain
+    # top/bottom)
+    for k in range(gz):
+        if geom.extent.z0 - gz + k < 0:
+            contrib_div_w[k] = 0.0
+            contrib_phi_w[k] = 0.0
+        kk = nz_w - 1 - k
+        if geom.extent.z1 + gz - 1 - k >= geom.grid.nz:
+            contrib_div_w[kk] = 0.0
+            contrib_phi_w[kk] = 0.0
+
+    own_sum = np.stack(
+        [
+            contrib_div_w[owned].sum(axis=0),
+            contrib_phi_w[owned].sum(axis=0),
+        ]
+    )
+    prefix = exscan(own_sum)      # sums over ranks below (smaller z0)
+    total = allreduce(own_sum)
+    column_sum = total[0]
+    h_total = total[1]
+
+    # S at the top interface of the working window: the prefix over all
+    # earlier ranks minus this rank's ghost-below contributions
+    ghost_below_div = contrib_div_w[:gz].sum(axis=0)
+    ghost_below_phi = contrib_phi_w[:gz].sum(axis=0)
+    s_start = prefix[0] - ghost_below_div
+    h_start = prefix[1] - ghost_below_phi
+
+    ny_w, nx_w = p_fac.shape
+    s_iface_w = np.empty((nz_w + 1, ny_w, nx_w))
+    s_iface_w[0] = s_start
+    np.cumsum(contrib_div_w, axis=0, out=s_iface_w[1:])
+    s_iface_w[1:] += s_start
+
+    # suffix sums of phi contributions: H_suffix[k] = sum_{l >= k} h_l
+    h_prefix_w = np.empty((nz_w + 1, ny_w, nx_w))
+    h_prefix_w[0] = h_start
+    np.cumsum(contrib_phi_w, axis=0, out=h_prefix_w[1:])
+    h_prefix_w[1:] += h_start
+    h_suffix_w = h_total[None] - h_prefix_w  # at interfaces
+
+    sig_if = geom.sigma_iface[:, None, None]
+    pw_iface = sig_if * column_sum[None] - s_iface_w
+    w_iface = pw_iface / p_fac[None]
+    sdot_iface = pw_iface / (p_fac[None] ** 2)
+    phi_prime = (
+        constants.B_GRAVITY_WAVE / p_fac[None]
+        * (h_suffix_w[:-1] - 0.5 * contrib_phi_w)
+    )
+
+    return VerticalDiagnostics(
+        div_p=div_p,
+        column_sum=column_sum,
+        pw_iface=pw_iface,
+        w_iface=w_iface,
+        sdot_iface=sdot_iface,
+        phi_prime=phi_prime,
+        p_fac=p_fac,
+    )

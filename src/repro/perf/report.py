@@ -1,0 +1,154 @@
+"""Machine-readable experiment report.
+
+Collects every reproduced figure/table into one JSON-serializable dict —
+the artifact behind EXPERIMENTS.md.  Usable as a module
+(:func:`full_report`) or a CLI::
+
+    python -m repro.perf.report [output.json]
+"""
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+from repro.analysis.lower_bounds import section53_costs
+from repro.analysis.scaling import strong_scaling
+from repro.grid.decomposition import xy_decomposition, yz_decomposition
+from repro.grid.latlon import paper_grid
+from repro.perf.model import (
+    ALGORITHMS,
+    PAPER_PROC_SWEEP,
+    PerformanceModel,
+)
+
+
+def figure_data(model: PerformanceModel) -> dict[str, Any]:
+    """Raw series of Figures 1/6/7/8."""
+    out: dict[str, Any] = {"procs": PAPER_PROC_SWEEP}
+    for alg in ALGORITHMS:
+        timings = [model.timing(alg, p) for p in PAPER_PROC_SWEEP]
+        out[alg] = {
+            "collective_s": [t.collective_comm_time for t in timings],
+            "stencil_s": [t.stencil_comm_time for t in timings],
+            "compute_s": [t.compute_time for t in timings],
+            "total_s": [t.total_time for t in timings],
+            "comm_fraction": [t.comm_fraction for t in timings],
+        }
+    return out
+
+
+def headline_claims(model: PerformanceModel) -> dict[str, Any]:
+    """The paper's anchor numbers, as reproduced."""
+    t = {
+        (a, p): model.timing(a, p)
+        for a in ALGORITHMS
+        for p in PAPER_PROC_SWEEP
+    }
+    stencil_ratios = [
+        t[("original-yz", p)].stencil_comm_time
+        / t[("ca", p)].stencil_comm_time
+        for p in PAPER_PROC_SWEEP
+    ]
+    coll_ratios = [
+        t[("original-yz", p)].collective_comm_time
+        / t[("ca", p)].collective_comm_time
+        for p in PAPER_PROC_SWEEP
+    ]
+    return {
+        "reduction_vs_xy_512": {
+            "paper": 0.54,
+            "reproduced": 1.0
+            - t[("ca", 512)].total_time / t[("original-xy", 512)].total_time,
+        },
+        "stencil_speedup_avg": {
+            "paper": 3.9,
+            "reproduced": sum(stencil_ratios) / len(stencil_ratios),
+        },
+        "collective_speedup_avg": {
+            "paper": 1.4,
+            "reproduced": sum(coll_ratios) / len(coll_ratios),
+        },
+        "stencil_time_yz_1024_s": {
+            "paper": 17_400,
+            "reproduced": t[("original-yz", 1024)].stencil_comm_time,
+        },
+        "stencil_time_ca_1024_s": {
+            "paper": 2_800,
+            "reproduced": t[("ca", 1024)].stencil_comm_time,
+        },
+        "saved_vs_xy_1024_s": {
+            "paper": 113_500,
+            "reproduced": t[("original-xy", 1024)].total_time
+            - t[("ca", 1024)].total_time,
+        },
+        "saved_vs_yz_1024_s": {
+            "paper": 46_300,
+            "reproduced": t[("original-yz", 1024)].total_time
+            - t[("ca", 1024)].total_time,
+        },
+    }
+
+
+def sec53_data(model: PerformanceModel) -> list[dict[str, Any]]:
+    g = model.grid
+    rows = []
+    for p in PAPER_PROC_SWEEP:
+        dyz = yz_decomposition(g.nx, g.ny, g.nz, p)
+        dxy = xy_decomposition(g.nx, g.ny, g.nz, p)
+        row: dict[str, Any] = {"p": p}
+        for alg, d in (("ca", dyz), ("yz", dyz), ("xy", dxy)):
+            c = section53_costs(alg, g.nx, g.ny, g.nz, d.px, d.py, d.pz)
+            row[f"W_{alg}"] = c.W
+            row[f"S_{alg}"] = c.S
+        rows.append(row)
+    return rows
+
+
+def scaling_data(model: PerformanceModel) -> dict[str, Any]:
+    out = {}
+    for alg in ALGORITHMS:
+        out[alg] = [
+            {
+                "p": pt.nprocs,
+                "total_s": pt.total_time,
+                "speedup": pt.speedup,
+                "efficiency": pt.efficiency,
+            }
+            for pt in strong_scaling(model, alg, PAPER_PROC_SWEEP)
+        ]
+    return out
+
+
+def full_report(model: PerformanceModel | None = None) -> dict[str, Any]:
+    """Everything: figures, headline claims, Sec. 5.3 costs, scaling."""
+    model = model or PerformanceModel(paper_grid())
+    return {
+        "meta": {
+            "paper": "Xiao et al., Communication-Avoiding for Dynamical "
+            "Core of Atmospheric General Circulation Model, ICPP 2018",
+            "mesh": [model.grid.nx, model.grid.ny, model.grid.nz],
+            "model_steps": model.nsteps,
+            "dt_step_s": model.dt_step,
+        },
+        "figures": figure_data(model),
+        "headline_claims": headline_claims(model),
+        "sec53": sec53_data(model),
+        "strong_scaling": scaling_data(model),
+    }
+
+
+def main(argv: list[str]) -> int:
+    report = full_report()
+    text = json.dumps(report, indent=2)
+    if argv:
+        with open(argv[0], "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {argv[0]}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,15 @@
+"""Idealized physics: the Held-Suarez dry benchmark forcing (Sec. 5.1)
+and initial conditions."""
+from repro.physics.held_suarez import HeldSuarezForcing
+from repro.physics.initial import (
+    rest_state,
+    perturbed_rest_state,
+    balanced_random_state,
+)
+
+__all__ = [
+    "HeldSuarezForcing",
+    "rest_state",
+    "perturbed_rest_state",
+    "balanced_random_state",
+]

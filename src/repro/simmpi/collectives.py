@@ -1,0 +1,169 @@
+"""Rendezvous-based collectives over rank groups.
+
+A :class:`GroupContext` is shared by all member ranks of one
+sub-communicator.  Every collective call opens (or joins) the slot for the
+group's next generation number; the last rank to arrive combines the
+contributions, computes the completion time from the machine model and the
+members' clocks, and wakes everyone.  Clocks of all participants are set to
+the common completion time — collectives are synchronizing, exactly as the
+paper counts them in the latency cost ``S``.
+"""
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.simmpi.machine import MachineModel
+from repro.simmpi.network import DeadlockError
+
+
+class _Slot:
+    """One in-flight collective operation (one generation of one group)."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.contributions: dict[int, Any] = {}
+        self.clocks: dict[int, float] = {}
+        self.result: Any = None
+        self.t_end: float = 0.0
+        self.done = False
+        self.cond = threading.Condition()
+
+
+class GroupContext:
+    """Shared rendezvous state of one sub-communicator."""
+
+    def __init__(self, ranks: tuple[int, ...]) -> None:
+        self.ranks = ranks
+        self.size = len(ranks)
+        self._slots: dict[int, _Slot] = {}
+        self._lock = threading.Lock()
+
+    def _slot(self, generation: int) -> _Slot:
+        with self._lock:
+            slot = self._slots.get(generation)
+            if slot is None:
+                slot = _Slot(self.size)
+                self._slots[generation] = slot
+            return slot
+
+    def _retire(self, generation: int) -> None:
+        # Drop completed slots so long runs do not accumulate memory.
+        with self._lock:
+            self._slots.pop(generation, None)
+
+    def execute(
+        self,
+        generation: int,
+        rank: int,
+        clock: float,
+        contribution: Any,
+        combine: Callable[[dict[int, Any]], Any],
+        duration: Callable[[], float],
+        timeout: float,
+    ) -> tuple[Any, float]:
+        """Join the collective; returns ``(combined_result, t_end)``.
+
+        ``combine`` maps {rank: contribution} to the common result;
+        ``duration`` gives the modelled collective cost, added to the max
+        of the participants' arrival clocks.
+        """
+        slot = self._slot(generation)
+        with slot.cond:
+            slot.contributions[rank] = contribution
+            slot.clocks[rank] = clock
+            if len(slot.contributions) == slot.size:
+                slot.result = combine(slot.contributions)
+                slot.t_end = max(slot.clocks.values()) + duration()
+                slot.done = True
+                slot.cond.notify_all()
+            else:
+                import time
+
+                deadline = time.monotonic() + timeout
+                while not slot.done:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlockError(
+                            f"rank {rank}: collective gen={generation} on group "
+                            f"{self.ranks} timed out "
+                            f"({len(slot.contributions)}/{slot.size} arrived)"
+                        )
+                    slot.cond.wait(remaining)
+            result, t_end = slot.result, slot.t_end
+        # Last reader retires the slot: count readers via contributions set.
+        with slot.cond:
+            slot.size -= 1
+            if slot.size == 0:
+                self._retire(generation)
+        return result, t_end
+
+
+# ---- combine functions ---------------------------------------------------
+
+
+def combine_sum(contribs: dict[int, np.ndarray]) -> np.ndarray:
+    """Elementwise sum (deterministic: accumulate in rank order)."""
+    total = None
+    for r in sorted(contribs):
+        arr = contribs[r]
+        total = arr.astype(np.float64, copy=True) if total is None else total + arr
+    return total
+
+
+def combine_max(contribs: dict[int, np.ndarray]) -> np.ndarray:
+    """Elementwise max."""
+    out = None
+    for r in sorted(contribs):
+        arr = np.asarray(contribs[r])
+        out = arr.copy() if out is None else np.maximum(out, arr)
+    return out
+
+
+def combine_min(contribs: dict[int, np.ndarray]) -> np.ndarray:
+    """Elementwise min."""
+    out = None
+    for r in sorted(contribs):
+        arr = np.asarray(contribs[r])
+        out = arr.copy() if out is None else np.minimum(out, arr)
+    return out
+
+
+def combine_gather(contribs: dict[int, Any]) -> list[Any]:
+    """Rank-ordered list of all contributions."""
+    return [contribs[r] for r in sorted(contribs)]
+
+
+REDUCE_OPS: dict[str, Callable[[dict[int, np.ndarray]], np.ndarray]] = {
+    "sum": combine_sum,
+    "max": combine_max,
+    "min": combine_min,
+}
+
+
+def collective_cost(
+    model: MachineModel, op: str, q: int, nbytes: int
+) -> tuple[float, int]:
+    """(duration, modelled bytes moved per rank) of collective ``op``."""
+    if q <= 1:
+        return 0.0, 0
+    if op == "allreduce":
+        return model.allreduce_time(q, nbytes), int(2 * (q - 1) / q * nbytes)
+    if op == "reduce":
+        return model.reduce_time(q, nbytes), nbytes
+    if op == "bcast":
+        return model.bcast_time(q, nbytes), nbytes
+    if op == "allgather":
+        return model.allgather_time(q, nbytes), (q - 1) * nbytes
+    if op == "alltoall":
+        return model.alltoall_time(q, nbytes), (q - 1) * nbytes
+    if op == "scan":
+        return model.scan_time(q, nbytes), nbytes
+    if op == "gather" or op == "scatter":
+        # binomial tree to/from the root; the root moves (q-1) payloads
+        return model.bcast_time(q, nbytes), (q - 1) * nbytes
+    if op == "barrier":
+        return model.barrier_time(q), 0
+    raise ValueError(f"unknown collective {op!r}")

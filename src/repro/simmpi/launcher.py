@@ -1,0 +1,127 @@
+"""SPMD launcher: run the same function on every simulated rank.
+
+``run_spmd(nranks, fn, *args)`` starts one thread per rank, each with its
+own :class:`SimComm`, and collects the per-rank return values, statistics
+and final logical clocks.  Exceptions on any rank abort the run and are
+re-raised on the caller with rank attribution.
+"""
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.simmpi.comm import SimComm, SimWorld
+from repro.simmpi.machine import LAPTOP_LIKE, MachineModel
+from repro.simmpi.stats import CommStats
+from repro.simmpi.trace import TraceRecorder
+
+
+class SpmdError(RuntimeError):
+    """One or more ranks raised; carries the per-rank tracebacks."""
+
+    def __init__(self, failures: dict[int, str]) -> None:
+        self.failures = failures
+        ranks = ", ".join(str(r) for r in sorted(failures))
+        first = failures[min(failures)]
+        super().__init__(f"SPMD ranks [{ranks}] failed; rank traceback:\n{first}")
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one SPMD run."""
+
+    results: list[Any]
+    stats: list[CommStats]
+    clocks: list[float]
+    traces: list[TraceRecorder] | None = None
+
+    @property
+    def nranks(self) -> int:
+        return len(self.results)
+
+    @property
+    def makespan(self) -> float:
+        """Simulated wall time: the slowest rank's final logical clock."""
+        return max(self.clocks)
+
+    def critical_stats(self) -> CommStats:
+        """Per-field max over ranks (critical-path accounting of [16])."""
+        return self.stats[0].merge_max(self.stats[1:])
+
+    def total_comm_time(self) -> float:
+        """Max over ranks of (p2p + collective) logical time."""
+        return max(s.comm_time for s in self.stats)
+
+    def total_compute_time(self) -> float:
+        """Max over ranks of compute logical time."""
+        return max(s.compute_time for s in self.stats)
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    machine: MachineModel | None = None,
+    timeout: float = 120.0,
+    trace: bool = False,
+) -> SpmdResult:
+    """Run ``fn(comm, *args)`` on ``nranks`` simulated ranks.
+
+    Parameters
+    ----------
+    nranks:
+        Number of simulated ranks (threads).
+    fn:
+        The rank program; first argument is its :class:`SimComm`.
+    machine:
+        Cost model; defaults to :data:`repro.simmpi.machine.LAPTOP_LIKE`.
+    timeout:
+        Wall-clock seconds after which a blocked receive or collective is
+        declared a deadlock.
+    trace:
+        Record per-rank :class:`TraceRecorder` timelines (compute spans,
+        receive waits, collectives) in the result.
+    """
+    world = SimWorld(nranks, machine or LAPTOP_LIKE, timeout=timeout)
+    comms = [SimComm(world, r) for r in range(nranks)]
+    tracers: list[TraceRecorder] | None = None
+    if trace:
+        tracers = [TraceRecorder(r) for r in range(nranks)]
+        for c, t in zip(comms, tracers):
+            c.tracer = t
+    results: list[Any] = [None] * nranks
+    failures: dict[int, str] = {}
+    failures_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(comms[rank], *args)
+        except BaseException:  # noqa: BLE001 - report everything to caller
+            with failures_lock:
+                failures[rank] = traceback.format_exc()
+
+    if nranks == 1:
+        # Fast path: no threads for serial runs.
+        runner(0)
+    else:
+        threads = [
+            threading.Thread(target=runner, args=(r,), daemon=True, name=f"rank{r}")
+            for r in range(nranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout + 30.0)
+        hung = [t.name for t in threads if t.is_alive()]
+        if hung and not failures:
+            raise SpmdError({-1: f"rank threads still alive: {hung}"})
+    if failures:
+        raise SpmdError(failures)
+    return SpmdResult(
+        results=results,
+        stats=[c.stats for c in comms],
+        clocks=[c.clock for c in comms],
+        traces=tracers,
+    )

@@ -1,0 +1,145 @@
+"""Alpha-beta machine model used by the logical clocks.
+
+The standard two-parameter point-to-point cost ``T(n) = alpha + beta * n``
+(latency + inverse bandwidth) plus a per-point compute rate.  Collective
+costs are derived from these in :mod:`repro.simmpi.collectives` using the
+algorithms of Thakur, Rabenseifner & Gropp (2005), the paper's reference
+[19] for optimal collectives.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost parameters of the simulated cluster.
+
+    Parameters
+    ----------
+    alpha:
+        Per-message latency [s].
+    beta:
+        Per-byte transfer time [s/B] (inverse bandwidth).
+    gamma:
+        Per-byte reduction-compute time [s/B] for collectives with
+        arithmetic (allreduce).
+    seconds_per_point:
+        Baseline cost of one stencil point-update [s]; the dynamical-core
+        layer multiplies this by a per-operator weight (see
+        :mod:`repro.perf.costs`).
+    """
+
+    alpha: float = 2.0e-6
+    beta: float = 1.0e-9
+    gamma: float = 0.5e-9
+    seconds_per_point: float = 2.0e-8
+    #: allreduce algorithm: "ring" (bandwidth-optimal, Rabenseifner) or
+    #: "recursive_doubling" (latency-optimal for short messages) — the
+    #: trade-off analyzed by Thakur, Rabenseifner & Gropp (2005), the
+    #: paper's reference [19]
+    allreduce_algorithm: str = "ring"
+
+    def __post_init__(self) -> None:
+        if min(self.alpha, self.beta, self.gamma, self.seconds_per_point) < 0:
+            raise ValueError("machine parameters must be non-negative")
+        if self.allreduce_algorithm not in ("ring", "recursive_doubling"):
+            raise ValueError(
+                f"unknown allreduce algorithm {self.allreduce_algorithm!r}"
+            )
+
+    # ---- point-to-point --------------------------------------------------
+    def p2p_time(self, nbytes: int) -> float:
+        """Transfer time of one ``nbytes`` message."""
+        return self.alpha + self.beta * nbytes
+
+    # ---- collectives (Thakur et al. 2005 cost formulas) --------------------
+    def allreduce_time(self, q: int, nbytes: int) -> float:
+        """Allreduce over ``q`` ranks of ``nbytes``.
+
+        Ring (Rabenseifner): ``2 (q-1) alpha + 2 (q-1)/q n beta +
+        (q-1)/q n gamma`` — bandwidth-optimal, matching the data-movement
+        lower bound Theorem 4.2 cites.  Recursive doubling:
+        ``ceil(log2 q) (alpha + n beta + n gamma)`` — latency-optimal,
+        preferable for short messages.
+        """
+        if q <= 1:
+            return 0.0
+        if self.allreduce_algorithm == "recursive_doubling":
+            return math.ceil(math.log2(q)) * (
+                self.alpha + nbytes * (self.beta + self.gamma)
+            )
+        return (
+            2.0 * (q - 1) * self.alpha
+            + 2.0 * (q - 1) / q * nbytes * self.beta
+            + (q - 1) / q * nbytes * self.gamma
+        )
+
+    def allreduce_crossover_bytes(self, q: int) -> float:
+        """Message size at which ring and recursive doubling cost the same.
+
+        Below this size recursive doubling wins (latency-bound); above it
+        the ring wins (bandwidth-bound) — the [19] selection rule.
+        """
+        if q <= 2:
+            return 0.0
+        lg = math.ceil(math.log2(q))
+        alpha_gap = (2.0 * (q - 1) - lg) * self.alpha
+        beta_gap = (lg - 2.0 * (q - 1) / q) * self.beta + (
+            lg - (q - 1) / q
+        ) * self.gamma
+        if beta_gap <= 0:
+            return float("inf")
+        return alpha_gap / beta_gap
+
+    def reduce_time(self, q: int, nbytes: int) -> float:
+        """Binomial-tree reduce."""
+        if q <= 1:
+            return 0.0
+        return math.ceil(math.log2(q)) * (self.alpha + nbytes * (self.beta + self.gamma))
+
+    def bcast_time(self, q: int, nbytes: int) -> float:
+        """Binomial-tree broadcast."""
+        if q <= 1:
+            return 0.0
+        return math.ceil(math.log2(q)) * (self.alpha + nbytes * self.beta)
+
+    def allgather_time(self, q: int, nbytes_each: int) -> float:
+        """Ring allgather; every rank contributes ``nbytes_each``."""
+        if q <= 1:
+            return 0.0
+        return (q - 1) * (self.alpha + nbytes_each * self.beta)
+
+    def alltoall_time(self, q: int, nbytes_each_pair: int) -> float:
+        """Pairwise-exchange all-to-all."""
+        if q <= 1:
+            return 0.0
+        return (q - 1) * (self.alpha + nbytes_each_pair * self.beta)
+
+    def scan_time(self, q: int, nbytes: int) -> float:
+        """Linear-pipeline (ex)scan."""
+        if q <= 1:
+            return 0.0
+        return (q - 1) * (self.alpha + nbytes * (self.beta + self.gamma))
+
+    def barrier_time(self, q: int) -> float:
+        """Dissemination barrier."""
+        if q <= 1:
+            return 0.0
+        return math.ceil(math.log2(q)) * self.alpha
+
+
+#: Parameters resembling Tianhe-2's TH Express-2 fabric and Ivy Bridge
+#: cores running this (memory-bound) finite-difference code:
+#: ~2 us latency, ~6 GB/s effective per-rank bandwidth, and a per-point
+#: update cost calibrated in :mod:`repro.perf.calibration`.
+TIANHE2_LIKE = MachineModel(
+    alpha=2.0e-6, beta=1.7e-10, gamma=1.0e-10, seconds_per_point=1.6e-8
+)
+
+#: A single multicore box with shared-memory "messages" — used by tests
+#: to keep simulated numbers small and by the quickstart example.
+LAPTOP_LIKE = MachineModel(
+    alpha=5.0e-7, beta=5.0e-11, gamma=5.0e-11, seconds_per_point=5.0e-9
+)

@@ -1,0 +1,83 @@
+"""Mailboxes and message transport of the simulated cluster.
+
+Each rank owns a :class:`Mailbox`; a send appends a :class:`Message` to the
+destination mailbox under its condition variable; a receive blocks until a
+message matching ``(source, tag)`` is present.  Matching is FIFO per
+``(source, tag)`` pair, which — together with single-threaded senders —
+makes message delivery deterministic regardless of thread scheduling.
+"""
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class DeadlockError(RuntimeError):
+    """A blocking receive timed out — the SPMD program deadlocked."""
+
+
+@dataclass
+class Message:
+    """One in-flight point-to-point message.
+
+    ``arrival`` is the logical time at which the payload is available at
+    the receiver (sender clock at send + alpha + beta * bytes); the
+    receiver's clock is advanced to at least this value on receive.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    payload: np.ndarray
+    arrival: float
+
+
+class Mailbox:
+    """The incoming-message queue of one rank."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self._messages: list[Message] = []
+        self._cond = threading.Condition()
+
+    def deliver(self, msg: Message) -> None:
+        """Called by the *sender* thread to enqueue a message."""
+        with self._cond:
+            self._messages.append(msg)
+            self._cond.notify_all()
+
+    def collect(self, source: int, tag: int, timeout: float) -> Message:
+        """Block until the first message matching ``(source, tag)`` arrives.
+
+        Raises
+        ------
+        DeadlockError
+            If no matching message arrives within ``timeout`` wall seconds.
+        """
+        with self._cond:
+            deadline = None
+            while True:
+                for idx, msg in enumerate(self._messages):
+                    if msg.source == source and msg.tag == tag:
+                        return self._messages.pop(idx)
+                if deadline is None:
+                    import time
+
+                    deadline = time.monotonic() + timeout
+                import time
+
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"rank {self.rank}: recv(source={source}, tag={tag}) "
+                        f"timed out after {timeout}s; "
+                        f"pending={[(m.source, m.tag) for m in self._messages]}"
+                    )
+                self._cond.wait(remaining)
+
+    def pending_count(self) -> int:
+        """Number of undelivered messages (used by shutdown sanity checks)."""
+        with self._cond:
+            return len(self._messages)

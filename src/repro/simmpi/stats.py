@@ -1,0 +1,82 @@
+"""Per-rank communication/computation accounting.
+
+These counters are the ground truth for the Section 5.3 verification: the
+closed-form event-count formulas of :mod:`repro.perf.costs` are asserted
+equal to these instrumented values in the test suite.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CommStats:
+    """Counters and logical-time accumulators of one simulated rank.
+
+    Counter semantics
+    -----------------
+    * ``p2p_messages_sent/received`` — number of point-to-point messages.
+    * ``p2p_bytes_sent/received`` — their payload bytes.
+    * ``collective_ops`` — number of collective calls (allreduce etc.).
+    * ``collective_bytes`` — modelled bytes moved by this rank inside
+      collectives (e.g. ``2 (q-1)/q * n`` for a ring allreduce).
+    * ``synchronizations`` — events at which this rank's clock was forced
+      to wait for another rank (blocking recv/wait that actually waited,
+      plus every collective/barrier); this is the instrumented analogue of
+      the paper's latency cost ``S``.
+
+    Time semantics (all logical seconds)
+    ------------------------------------
+    * ``compute_time`` — explicit compute advances.
+    * ``p2p_time`` — time spent inside send/recv/wait calls (sender
+      overhead + receiver waiting).
+    * ``collective_time`` — time spent inside collectives, including
+      waiting for stragglers.
+    """
+
+    p2p_messages_sent: int = 0
+    p2p_messages_received: int = 0
+    p2p_bytes_sent: int = 0
+    p2p_bytes_received: int = 0
+    collective_ops: int = 0
+    collective_bytes: int = 0
+    synchronizations: int = 0
+    compute_time: float = 0.0
+    p2p_time: float = 0.0
+    collective_time: float = 0.0
+    #: free-form buckets: algorithms tag phases ("stencil", "fourier", ...)
+    tagged_time: dict = field(default_factory=dict)
+
+    @property
+    def comm_time(self) -> float:
+        """Total communication time (p2p + collective)."""
+        return self.p2p_time + self.collective_time
+
+    @property
+    def total_time(self) -> float:
+        """compute + communication time."""
+        return self.compute_time + self.comm_time
+
+    def add_tagged(self, tag: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into the free-form bucket ``tag``."""
+        self.tagged_time[tag] = self.tagged_time.get(tag, 0.0) + seconds
+
+    def merge_max(self, others: list["CommStats"]) -> "CommStats":
+        """Elementwise max over ranks — the critical-path view of [16]."""
+        out = CommStats()
+        allstats = [self, *others]
+        for f in (
+            "p2p_messages_sent", "p2p_messages_received",
+            "p2p_bytes_sent", "p2p_bytes_received",
+            "collective_ops", "collective_bytes", "synchronizations",
+        ):
+            setattr(out, f, max(getattr(s, f) for s in allstats))
+        for f in ("compute_time", "p2p_time", "collective_time"):
+            setattr(out, f, max(getattr(s, f) for s in allstats))
+        keys = set()
+        for s in allstats:
+            keys.update(s.tagged_time)
+        out.tagged_time = {
+            k: max(s.tagged_time.get(k, 0.0) for s in allstats) for k in keys
+        }
+        return out

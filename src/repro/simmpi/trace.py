@@ -1,0 +1,104 @@
+"""Event tracing of the simulated cluster.
+
+When enabled (``run_spmd(..., trace=True)``), every rank records a
+:class:`TraceEvent` for each compute span, point-to-point operation and
+collective, with logical-clock start/end times.  The trace is the raw
+material for timeline rendering and critical-path analysis — the
+"maximum over execution paths" accounting of the paper's reference [16]
+(Solomonik et al.) made concrete.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One logical-clock span on one rank."""
+
+    rank: int
+    kind: str          # "compute" | "send" | "recv_wait" | "collective"
+    t_start: float
+    t_end: float
+    detail: str = ""
+    phase: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class TraceRecorder:
+    """Per-rank event sink (attached to a SimComm when tracing)."""
+
+    rank: int
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: str,
+        t_start: float,
+        t_end: float,
+        detail: str = "",
+        phase: str | None = None,
+    ) -> None:
+        self.events.append(
+            TraceEvent(self.rank, kind, t_start, t_end, detail, phase)
+        )
+
+
+def merge_timeline(recorders: list[TraceRecorder]) -> list[TraceEvent]:
+    """All events of all ranks, ordered by start time (ties by rank)."""
+    events: list[TraceEvent] = []
+    for rec in recorders:
+        events.extend(rec.events)
+    return sorted(events, key=lambda e: (e.t_start, e.rank))
+
+
+def busy_fraction(recorder: TraceRecorder, kind: str = "compute") -> float:
+    """Share of this rank's span spent in events of ``kind``."""
+    if not recorder.events:
+        return 0.0
+    total = max(e.t_end for e in recorder.events)
+    if total <= 0:
+        return 0.0
+    busy = sum(e.duration for e in recorder.events if e.kind == kind)
+    return busy / total
+
+
+def render_gantt(
+    recorders: list[TraceRecorder],
+    width: int = 72,
+    t_max: float | None = None,
+) -> str:
+    """Plain-text timeline: one row per rank.
+
+    Symbols: ``#`` compute, ``~`` waiting on a receive, ``=`` collective,
+    ``-`` idle/other.  Resolution is ``t_max / width``; overlapping kinds
+    in one cell resolve by precedence compute > collective > wait.
+    """
+    if t_max is None:
+        t_max = max(
+            (e.t_end for rec in recorders for e in rec.events), default=0.0
+        )
+    if t_max <= 0:
+        return "(empty trace)"
+    symbols = {"compute": "#", "collective": "=", "recv_wait": "~", "send": "s"}
+    precedence = {"#": 3, "=": 2, "~": 1, "s": 1, "-": 0}
+    lines = []
+    for rec in recorders:
+        row = ["-"] * width
+        for e in rec.events:
+            a = min(width - 1, int(e.t_start / t_max * width))
+            b = min(width - 1, max(a, int(e.t_end / t_max * width) - 1))
+            sym = symbols.get(e.kind, "-")
+            for i in range(a, b + 1):
+                if precedence[sym] > precedence[row[i]]:
+                    row[i] = sym
+        lines.append(f"rank {rec.rank:>3} |{''.join(row)}|")
+    lines.append(
+        f"legend: # compute   = collective   ~ recv wait   "
+        f"(span {t_max:.3e} s)"
+    )
+    return "\n".join(lines)

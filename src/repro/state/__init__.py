@@ -1,0 +1,22 @@
+"""Model state: standard stratification, the transform (1), and the
+prognostic variable container ``xi = (U, V, Phi, p'_sa)``."""
+from repro.state.standard_atmosphere import StandardAtmosphere
+from repro.state.transforms import (
+    p_es_from_ps,
+    p_factor,
+    physical_to_transformed,
+    transformed_to_physical,
+)
+from repro.state.variables import ModelState
+from repro.state.io import load_state, save_state
+
+__all__ = [
+    "StandardAtmosphere",
+    "ModelState",
+    "p_es_from_ps",
+    "p_factor",
+    "physical_to_transformed",
+    "transformed_to_physical",
+    "load_state",
+    "save_state",
+]

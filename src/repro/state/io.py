@@ -1,0 +1,56 @@
+"""Checkpointing: save and restore model states.
+
+Long climate integrations restart from checkpoints; these helpers store a
+:class:`ModelState` (plus minimal metadata for shape validation) in NumPy's
+``.npz`` container.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.state.variables import ModelState
+
+#: format version written into every checkpoint
+CHECKPOINT_VERSION = 1
+
+
+def save_state(path: str | Path, state: ModelState, step: int = 0) -> None:
+    """Write ``state`` to ``path`` (.npz), overwriting."""
+    np.savez_compressed(
+        path,
+        version=np.int64(CHECKPOINT_VERSION),
+        step=np.int64(step),
+        U=state.U,
+        V=state.V,
+        Phi=state.Phi,
+        psa=state.psa,
+    )
+
+
+def load_state(path: str | Path) -> tuple[ModelState, int]:
+    """Read a checkpoint; returns ``(state, step)``.
+
+    Raises
+    ------
+    ValueError
+        On a missing field, wrong version, or inconsistent shapes.
+    """
+    with np.load(path) as data:
+        missing = {"version", "step", "U", "V", "Phi", "psa"} - set(data.files)
+        if missing:
+            raise ValueError(f"checkpoint missing fields: {sorted(missing)}")
+        version = int(data["version"])
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {version} unsupported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        state = ModelState(
+            U=data["U"].copy(),
+            V=data["V"].copy(),
+            Phi=data["Phi"].copy(),
+            psa=data["psa"].copy(),
+        )
+        return state, int(data["step"])

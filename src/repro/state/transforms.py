@@ -1,0 +1,80 @@
+"""The IAP variable transform, Eq. (1) of the paper.
+
+.. math::
+
+    U = P u, \\quad V = P v, \\quad \\Phi = P R (T - \\tilde T) / b,
+    \\quad p'_{sa} = p_s - \\tilde p_s,
+
+with ``P = sqrt(p_es / p_0)`` and ``p_es = p_s - p_t``.  The transform makes
+the quadratic invariant of the evolution equations the sum of kinetic +
+available potential + available surface potential energy, which is why the
+finite-difference core conserves energy (Sec. 2.2).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+from repro.state.standard_atmosphere import StandardAtmosphere
+
+
+def p_es_from_ps(ps: np.ndarray) -> np.ndarray:
+    """``p_es = p_s - p_t`` [Pa]."""
+    return np.asarray(ps, dtype=np.float64) - constants.P_TOP
+
+
+def p_factor(ps: np.ndarray) -> np.ndarray:
+    """The transform factor ``P = sqrt(p_es / p_0)`` (dimensionless)."""
+    pes = p_es_from_ps(ps)
+    if np.any(pes <= 0):
+        raise ValueError("surface pressure must exceed the model-top pressure")
+    return np.sqrt(pes / constants.P_REFERENCE)
+
+
+def physical_to_transformed(
+    u: np.ndarray,
+    v: np.ndarray,
+    t: np.ndarray,
+    ps: np.ndarray,
+    sigma_mid: np.ndarray,
+    reference: StandardAtmosphere,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Apply Eq. (1): ``(u, v, T, p_s) -> (U, V, Phi, p'_sa)``.
+
+    ``u, v, T`` have shape ``(nz, ny, nx)``; ``ps`` has shape ``(ny, nx)``.
+    The ``P`` factor is evaluated at scalar points and broadcast; on the C
+    grid ``U`` and ``V`` sit half a cell off the scalar points, but the
+    IAP formulation evaluates ``P`` by the same staggering-consistent
+    averaging inside the operators, so the transform itself uses the
+    collocated value (consistent with the inverse below).
+    """
+    ps = np.asarray(ps, dtype=np.float64)
+    P = p_factor(ps)[None, :, :]
+    # T~ is evaluated at the *local* pressure p = p_t + sigma * p_es so the
+    # subtraction removes the full standard stratification; this is what
+    # makes Phi (and the available potential energy) include the
+    # surface-pressure-induced part.
+    t_ref = reference.temperature_at_sigma(sigma_mid, ps=ps)
+    U = P * u
+    V = P * v
+    Phi = P * constants.R_DRY * (t - t_ref) / constants.B_GRAVITY_WAVE
+    psa = ps - reference.p_surface
+    return U, V, Phi, psa
+
+
+def transformed_to_physical(
+    U: np.ndarray,
+    V: np.ndarray,
+    Phi: np.ndarray,
+    psa: np.ndarray,
+    sigma_mid: np.ndarray,
+    reference: StandardAtmosphere,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Invert Eq. (1): ``(U, V, Phi, p'_sa) -> (u, v, T, p_s)``."""
+    ps = np.asarray(psa, dtype=np.float64) + reference.p_surface
+    P = p_factor(ps)[None, :, :]
+    u = U / P
+    v = V / P
+    t_ref = reference.temperature_at_sigma(sigma_mid, ps=ps)
+    t = t_ref + constants.B_GRAVITY_WAVE * Phi / (P * constants.R_DRY)
+    return u, v, t, ps

@@ -1,0 +1,111 @@
+"""The figure-regeneration harness."""
+import pytest
+
+from repro.bench.harness import (
+    fig1_comm_fraction,
+    fig6_collective_time,
+    fig7_stencil_time,
+    fig8_total_runtime,
+    small_scale_measured,
+)
+from repro.bench.figures import TARGETS, render_sec53, render_tables
+
+
+class TestFigureSeries:
+    def test_fig1_percentages(self):
+        fig = fig1_comm_fraction(procs=[128, 512])
+        assert fig.procs == [128, 512]
+        for name, vals in fig.series.items():
+            assert all(0.0 <= v <= 100.0 for v in vals)
+        # comm% + comp% == 100 per algorithm
+        for alg in ("original-xy", "original-yz"):
+            comm = fig.series[f"{alg} comm%"]
+            comp = fig.series[f"{alg} comp%"]
+            assert all(c + p == pytest.approx(100.0) for c, p in zip(comm, comp))
+
+    def test_fig6_7_8_have_three_series(self):
+        for fig in (
+            fig6_collective_time(procs=[128]),
+            fig7_stencil_time(procs=[128]),
+            fig8_total_runtime(procs=[128]),
+        ):
+            assert set(fig.series) == {"original-xy", "original-yz", "ca"}
+            assert all(v[0] > 0 for v in fig.series.values())
+
+    def test_render_contains_rows(self):
+        text = fig8_total_runtime(procs=[128, 256]).render()
+        assert "Figure 8" in text
+        assert "ca" in text
+        assert "128" in text and "256" in text
+
+
+class TestTables:
+    def test_tables_render(self):
+        text = render_tables()
+        assert "Table 1" in text and "Table 3" in text
+
+    def test_sec53_renders(self):
+        text = render_sec53()
+        assert "W [words]" in text
+
+    def test_all_targets_registered(self):
+        assert set(TARGETS) == {
+            "fig1", "fig2", "fig6", "fig7", "fig8", "tables", "sec53",
+            "measured", "scaling", "sweeps", "imbalance",
+        }
+
+    def test_sweeps_and_imbalance_targets(self, capsys):
+        from repro.bench.figures import main
+
+        assert main(["sweeps", "imbalance"]) == 0
+        out = capsys.readouterr().out
+        assert "resolution sweep" in out and "imbalance" in out
+
+    def test_fig2_target(self, capsys):
+        from repro.bench.figures import main
+
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "operator form" in out and "13 exchanges" in out
+
+    def test_cli_main_runs_targets(self, capsys):
+        from repro.bench.figures import main
+
+        assert main(["fig8", "tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "Table 1" in out
+
+    def test_cli_rejects_unknown(self, capsys):
+        from repro.bench.figures import main
+
+        assert main(["nope"]) == 2
+
+    def test_scaling_target(self, capsys):
+        from repro.bench.figures import main
+
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "original-3d" in out and "speedup" in out
+
+
+class TestMeasured:
+    def test_small_scale_comparison(self):
+        points = small_scale_measured(nsteps=1)
+        assert set(points) == {"original-xy", "original-yz", "ca"}
+        for pt in points.values():
+            assert pt.final_state.isfinite()
+            assert pt.diagnostics.makespan > 0
+        # the executed CA core beats the executed YZ original on
+        # stencil communication time (the Figure 7 relation)
+        assert (
+            points["ca"].diagnostics.stencil_comm_time
+            < points["original-yz"].diagnostics.stencil_comm_time
+        )
+
+    def test_states_agree_across_algorithms(self):
+        points = small_scale_measured(nsteps=2)
+        a = points["original-xy"].final_state
+        b = points["original-yz"].final_state
+        c = points["ca"].final_state
+        assert a.max_difference(b) < 1e-12
+        assert a.max_difference(c) < 1e-2  # approximate iteration

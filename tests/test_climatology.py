@@ -1,0 +1,98 @@
+"""H-S climatology diagnostics and a short acceptance run."""
+import numpy as np
+import pytest
+
+from repro.analysis.climatology import ClimatologyAccumulator
+from repro.constants import ModelParameters
+from repro.core.integrator import SerialCore
+from repro.grid.latlon import LatLonGrid
+from repro.grid.sigma import SigmaLevels
+from repro.physics import HeldSuarezForcing, perturbed_rest_state, rest_state
+
+
+@pytest.fixture
+def grid():
+    return LatLonGrid(nx=32, ny=16, nz=6)
+
+
+@pytest.fixture
+def sigma(grid):
+    return SigmaLevels.uniform(grid.nz)
+
+
+class TestAccumulator:
+    def test_requires_samples(self, grid, sigma):
+        acc = ClimatologyAccumulator(grid, sigma)
+        with pytest.raises(ValueError):
+            acc.finalize()
+
+    def test_shape_validation(self, grid, sigma):
+        acc = ClimatologyAccumulator(grid, sigma)
+        wrong = rest_state(LatLonGrid(nx=16, ny=8, nz=6))
+        with pytest.raises(ValueError):
+            acc.add(wrong)
+
+    def test_rest_state_climatology(self, grid, sigma):
+        acc = ClimatologyAccumulator(grid, sigma)
+        acc.add(rest_state(grid))
+        clim = acc.finalize()
+        assert np.allclose(clim.u_bar, 0.0)
+        assert np.allclose(clim.eddy_kinetic, 0.0)
+        assert np.allclose(clim.ps_bar, 1.0e5, rtol=1e-6)
+        assert clim.samples == 1
+
+    def test_mean_of_constant_samples(self, grid, sigma, rng):
+        from repro.physics import balanced_random_state
+
+        acc = ClimatologyAccumulator(grid, sigma)
+        state = balanced_random_state(grid, rng)
+        for _ in range(3):
+            acc.add(state)
+        one = ClimatologyAccumulator(grid, sigma)
+        one.add(state)
+        a, b = acc.finalize(), one.finalize()
+        assert np.allclose(a.u_bar, b.u_bar)
+        assert np.allclose(a.eddy_kinetic, b.eddy_kinetic)
+
+    def test_render(self, grid, sigma):
+        acc = ClimatologyAccumulator(grid, sigma)
+        acc.add(rest_state(grid))
+        text = acc.finalize().render()
+        assert "jet" in text and "lat" in text
+
+
+class TestSpinUpAcceptance:
+    """A short forced run must start developing the H-S circulation."""
+
+    @pytest.fixture(scope="class")
+    def spun_up(self):
+        grid = LatLonGrid(nx=32, ny=16, nz=6)
+        sigma = SigmaLevels.uniform(grid.nz)
+        params = ModelParameters(dt_adaptation=120.0, dt_advection=360.0)
+        core = SerialCore(grid, params=params, forcing=HeldSuarezForcing())
+        acc = ClimatologyAccumulator(grid, sigma)
+        w = core.pad(perturbed_rest_state(grid, amplitude_k=2.0))
+        nsteps = 400  # ~1.7 model days
+        for k in range(nsteps):
+            w = core.step(w)
+            if k >= nsteps // 2:
+                acc.add(core.strip(w))
+        return acc.finalize()
+
+    def test_westerlies_developing_aloft(self, spun_up):
+        """Differential heating spins up midlatitude westerlies aloft."""
+        ny = spun_up.latitudes_deg.size
+        mid_n = slice(2, ny // 2 - 1)
+        u_top = spun_up.u_bar[0:2, mid_n]
+        assert u_top.max() > 0.05
+
+    def test_temperature_gradient_building(self, spun_up):
+        assert spun_up.surface_temperature_contrast() > 1.0
+
+    def test_roughly_hemispherically_symmetric(self, spun_up):
+        # early spin-up from a NH perturbation: loose bound
+        assert spun_up.hemispheric_symmetry_error() < 1.0
+
+    def test_bounded_fields(self, spun_up):
+        assert np.abs(spun_up.u_bar).max() < 50.0
+        assert np.abs(spun_up.ps_bar - 1.0e5).max() < 5000.0

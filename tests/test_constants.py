@@ -1,0 +1,57 @@
+"""Model parameters and physical constants."""
+import math
+
+import pytest
+
+from repro import constants
+from repro.constants import ModelParameters
+
+
+class TestPhysicalConstants:
+    def test_kappa_is_r_over_cp(self):
+        assert constants.KAPPA == pytest.approx(
+            constants.R_DRY / constants.CP_DRY
+        )
+
+    def test_paper_values(self):
+        # the constants Sec. 2.1 quotes explicitly
+        assert constants.B_GRAVITY_WAVE == 87.8
+        assert constants.P_REFERENCE == 1000.0e2
+        assert constants.P_TOP == 2.2e2
+        assert constants.K_SA == 0.1
+
+    def test_top_pressure_below_reference(self):
+        assert constants.P_TOP < constants.P_REFERENCE
+
+
+class TestModelParameters:
+    def test_defaults_consistent_split(self):
+        p = ModelParameters()
+        assert p.dt_advection == pytest.approx(
+            p.m_iterations * p.dt_adaptation
+        )
+
+    def test_rejects_nonpositive_steps(self):
+        with pytest.raises(ValueError):
+            ModelParameters(dt_adaptation=0.0)
+        with pytest.raises(ValueError):
+            ModelParameters(dt_advection=-1.0)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            ModelParameters(m_iterations=0)
+
+    def test_rejects_bad_filter_latitude(self):
+        with pytest.raises(ValueError):
+            ModelParameters(filter_latitude=math.pi / 2)
+        with pytest.raises(ValueError):
+            ModelParameters(filter_latitude=-0.1)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            ModelParameters(smoothing_beta=1.5)
+
+    def test_frozen(self):
+        p = ModelParameters()
+        with pytest.raises(Exception):
+            p.m_iterations = 5  # type: ignore[misc]

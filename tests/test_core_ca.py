@@ -1,0 +1,183 @@
+"""Algorithm 2: the communication-avoiding core.
+
+Correctness contract: CA == the serial core with the approximate nonlinear
+iteration, on every feasible Y-Z decomposition; plus the communication
+schedule claims (2 exchanges per step, 2M z-collectives per step).
+"""
+import numpy as np
+import pytest
+
+from repro.constants import ModelParameters
+from repro.core.comm_avoiding import ca_rank_program
+from repro.core.distributed import DistributedConfig
+from repro.core.integrator import SerialCore
+from repro.grid.decomposition import Decomposition
+from repro.grid.latlon import LatLonGrid
+from repro.physics import HeldSuarezForcing, perturbed_rest_state
+from repro.simmpi import run_spmd
+from repro.state.variables import ModelState
+
+
+def gather_states(decomp, results):
+    blocks = [r.state for r in results]
+    return ModelState(
+        U=decomp.gather([b.U for b in blocks]),
+        V=decomp.gather([b.V for b in blocks]),
+        Phi=decomp.gather([b.Phi for b in blocks]),
+        psa=decomp.gather([b.psa for b in blocks]),
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_m1():
+    """M = 1 keeps the CA halos feasible on small blocks."""
+    grid = LatLonGrid(nx=32, ny=16, nz=8)
+    params = ModelParameters(dt_adaptation=60.0, dt_advection=60.0, m_iterations=1)
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+    nsteps = 4
+    ref = SerialCore(
+        grid, params=params, approximate_c=True, forcing=HeldSuarezForcing()
+    ).run(state0, nsteps)
+    return grid, params, state0, nsteps, ref
+
+
+@pytest.fixture(scope="module")
+def reference_m3():
+    """M = 3 (the paper's setting) on blocks big enough for 11-wide halos."""
+    grid = LatLonGrid(nx=16, ny=48, nz=8)
+    params = ModelParameters(dt_adaptation=60.0, dt_advection=180.0, m_iterations=3)
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+    nsteps = 3
+    ref = SerialCore(
+        grid, params=params, approximate_c=True, forcing=HeldSuarezForcing()
+    ).run(state0, nsteps)
+    return grid, params, state0, nsteps, ref
+
+
+class TestEquivalenceM1:
+    @pytest.mark.parametrize(
+        "shape", [(1, 1, 1), (1, 2, 1), (1, 2, 2)],
+        ids=lambda s: f"{s[0]}x{s[1]}x{s[2]}",
+    )
+    def test_matches_serial_approximate(self, reference_m1, shape):
+        grid, params, state0, nsteps, ref = reference_m1
+        decomp = Decomposition(grid.nx, grid.ny, grid.nz, *shape)
+        cfg = DistributedConfig(
+            grid=grid, decomp=decomp, params=params,
+            nsteps=nsteps, forcing=HeldSuarezForcing(),
+        )
+        res = run_spmd(decomp.nranks, ca_rank_program, cfg, state0)
+        gathered = gather_states(decomp, res.results)
+        assert ref.max_difference(gathered) < 1e-11
+
+
+class TestEquivalenceM3:
+    @pytest.mark.parametrize(
+        "shape", [(1, 1, 1), (1, 2, 1), (1, 3, 1)],
+        ids=lambda s: f"{s[0]}x{s[1]}x{s[2]}",
+    )
+    def test_matches_serial_approximate(self, reference_m3, shape):
+        grid, params, state0, nsteps, ref = reference_m3
+        decomp = Decomposition(grid.nx, grid.ny, grid.nz, *shape)
+        cfg = DistributedConfig(
+            grid=grid, decomp=decomp, params=params,
+            nsteps=nsteps, forcing=HeldSuarezForcing(),
+        )
+        res = run_spmd(decomp.nranks, ca_rank_program, cfg, state0)
+        gathered = gather_states(decomp, res.results)
+        assert ref.max_difference(gathered) < 1e-11
+
+
+class TestCommunicationSchedule:
+    def test_two_exchanges_per_step(self, reference_m1):
+        """The paper's 13 -> 2 frequency reduction (Sec. 4.3.1/4.3.2)."""
+        grid, params, state0, nsteps, _ = reference_m1
+        decomp = Decomposition(grid.nx, grid.ny, grid.nz, 1, 2, 2)
+        cfg = DistributedConfig(
+            grid=grid, decomp=decomp, params=params, nsteps=nsteps,
+        )
+        res = run_spmd(decomp.nranks, ca_rank_program, cfg, state0)
+        assert res.results[0].exchanges == 2 * nsteps
+
+    def test_two_m_collectives_per_step(self, reference_m1):
+        grid, params, state0, nsteps, _ = reference_m1
+        decomp = Decomposition(grid.nx, grid.ny, grid.nz, 1, 2, 2)
+        cfg = DistributedConfig(
+            grid=grid, decomp=decomp, params=params, nsteps=nsteps,
+        )
+        res = run_spmd(decomp.nranks, ca_rank_program, cfg, state0)
+        assert (
+            res.results[0].c_calls
+            == 2 * params.m_iterations * nsteps + 1  # + cold start
+        )
+
+    def test_fewer_messages_than_original(self, reference_m1):
+        from repro.core.distributed import original_rank_program
+
+        grid, params, state0, nsteps, _ = reference_m1
+        decomp = Decomposition(grid.nx, grid.ny, grid.nz, 1, 2, 2)
+        cfg = DistributedConfig(
+            grid=grid, decomp=decomp, params=params, nsteps=nsteps,
+        )
+        res_ca = run_spmd(decomp.nranks, ca_rank_program, cfg, state0)
+        res_or = run_spmd(decomp.nranks, original_rank_program, cfg, state0)
+        msgs_ca = sum(s.p2p_messages_sent for s in res_ca.stats)
+        msgs_or = sum(s.p2p_messages_sent for s in res_or.stats)
+        assert msgs_ca < msgs_or / 2
+
+    def test_more_bytes_than_original(self, reference_m1):
+        """CA trades volume for frequency: 'a little more communication
+        volume' (Sec. 5.2) from wide halos, corners and the C bundle."""
+        from repro.core.distributed import original_rank_program
+
+        grid, params, state0, nsteps, _ = reference_m1
+        decomp = Decomposition(grid.nx, grid.ny, grid.nz, 1, 2, 2)
+        cfg = DistributedConfig(
+            grid=grid, decomp=decomp, params=params, nsteps=nsteps,
+        )
+        res_ca = run_spmd(decomp.nranks, ca_rank_program, cfg, state0)
+        res_or = run_spmd(decomp.nranks, original_rank_program, cfg, state0)
+        bytes_ca = sum(s.p2p_bytes_sent for s in res_ca.stats)
+        bytes_or = sum(s.p2p_bytes_sent for s in res_or.stats)
+        assert bytes_ca > bytes_or
+
+    def test_rejects_xy_decomposition(self, reference_m1):
+        grid, params, state0, nsteps, _ = reference_m1
+        decomp = Decomposition(grid.nx, grid.ny, grid.nz, 2, 2, 1)
+        cfg = DistributedConfig(
+            grid=grid, decomp=decomp, params=params, nsteps=nsteps,
+        )
+        with pytest.raises(Exception):
+            run_spmd(decomp.nranks, ca_rank_program, cfg, state0)
+
+    def test_rejects_too_small_blocks(self, reference_m1):
+        grid, params, state0, nsteps, _ = reference_m1
+        # ny_local = 2 < gy = 5 for M = 1
+        decomp = Decomposition(grid.nx, grid.ny, grid.nz, 1, 8, 1)
+        cfg = DistributedConfig(
+            grid=grid, decomp=decomp, params=params, nsteps=nsteps,
+        )
+        with pytest.raises(Exception):
+            run_spmd(decomp.nranks, ca_rank_program, cfg, state0)
+
+
+class TestOverlap:
+    def test_stencil_wait_reduced_by_overlap(self, reference_m1):
+        """The posted-early exchange overlaps the inner update: the CA
+        core's stencil waiting time per exchange is below the original's."""
+        from repro.core.distributed import original_rank_program
+
+        grid, params, state0, nsteps, _ = reference_m1
+        decomp = Decomposition(grid.nx, grid.ny, grid.nz, 1, 2, 2)
+        cfg = DistributedConfig(
+            grid=grid, decomp=decomp, params=params, nsteps=nsteps,
+        )
+        res_ca = run_spmd(decomp.nranks, ca_rank_program, cfg, state0)
+        res_or = run_spmd(decomp.nranks, original_rank_program, cfg, state0)
+        wait_ca = max(
+            s.tagged_time.get("stencil_comm", 0.0) for s in res_ca.stats
+        )
+        wait_or = max(
+            s.tagged_time.get("stencil_comm", 0.0) for s in res_or.stats
+        )
+        assert wait_ca < wait_or

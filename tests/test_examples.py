@@ -1,0 +1,40 @@
+"""Every example script must run end to end (small arguments)."""
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["--steps", "3", "--nx", "32", "--ny", "16", "--nz", "6"]),
+    ("held_suarez_climate.py", ["--days", "0.05", "--nx", "32", "--ny", "16",
+                                "--nz", "6", "--spinup-days", "0.02"]),
+    ("decomposition_study.py", ["--nprocs", "4", "--steps", "1"]),
+    ("ca_vs_original.py", ["--steps", "2", "--nprocs", "4"]),
+    ("lamb_wave.py", ["--steps", "8"]),
+    ("timeline_trace.py", ["--steps", "1", "--nprocs", "4"]),
+    ("approximation_error.py", ["--steps", "1"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\nstdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_covered():
+    """Every script in examples/ has a smoke case here."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == {c[0] for c in CASES}

@@ -1,0 +1,88 @@
+"""Filter damping profiles and their use by the cores."""
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import ModelParameters
+from repro.grid.latlon import LatLonGrid
+from repro.operators.filter import FILTER_PROFILES, damping_factors
+
+
+@pytest.fixture
+def sin_rows():
+    grid = LatLonGrid(nx=32, ny=24, nz=4)
+    return np.sin(grid.theta_c), grid.nx
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile", FILTER_PROFILES)
+    def test_all_profiles_valid(self, sin_rows, profile):
+        rows, nx = sin_rows
+        mask, factors = damping_factors(
+            rows, nx, math.radians(70.0), profile
+        )
+        assert np.all(factors >= 0.0) and np.all(factors <= 1.0)
+        assert np.all(factors[:, 0] == 1.0)
+
+    def test_sharp_is_binary(self, sin_rows):
+        rows, nx = sin_rows
+        _, factors = damping_factors(rows, nx, math.radians(70.0), "sharp")
+        assert set(np.unique(factors)) <= {0.0, 1.0}
+
+    def test_sharp_strongest_at_high_m(self, sin_rows):
+        rows, nx = sin_rows
+        _, quad = damping_factors(rows, nx, math.radians(70.0), "quadratic")
+        _, sharp = damping_factors(rows, nx, math.radians(70.0), "sharp")
+        m_hi = nx // 2
+        assert np.all(sharp[:, m_hi] <= quad[:, m_hi])
+
+    def test_exponential_smoothly_decreasing(self, sin_rows):
+        rows, nx = sin_rows
+        _, exp = damping_factors(
+            rows, nx, math.radians(70.0), "exponential"
+        )
+        for row in exp:
+            assert np.all(np.diff(row[1:]) <= 1e-12)
+
+    def test_unknown_profile_rejected(self, sin_rows):
+        rows, nx = sin_rows
+        with pytest.raises(ValueError):
+            damping_factors(rows, nx, math.radians(70.0), "boxcar")
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            ModelParameters(filter_profile="boxcar")
+
+
+class TestCoreIntegration:
+    @pytest.mark.parametrize("profile", FILTER_PROFILES)
+    def test_serial_core_runs_with_profile(self, profile):
+        from repro.core.integrator import SerialCore
+        from repro.physics import perturbed_rest_state
+
+        grid = LatLonGrid(nx=32, ny=16, nz=6)
+        params = ModelParameters(
+            dt_adaptation=60.0, dt_advection=180.0, filter_profile=profile
+        )
+        core = SerialCore(grid, params=params)
+        out = core.run(perturbed_rest_state(grid, amplitude_k=2.0), 3)
+        assert out.isfinite()
+
+    def test_profiles_differ_in_polar_damping(self):
+        from repro.core.integrator import SerialCore
+        from repro.physics import perturbed_rest_state
+
+        grid = LatLonGrid(nx=32, ny=16, nz=6)
+        outs = {}
+        for profile in ("quadratic", "sharp"):
+            params = ModelParameters(
+                dt_adaptation=60.0, dt_advection=180.0,
+                filter_profile=profile,
+            )
+            core = SerialCore(grid, params=params)
+            outs[profile] = core.run(
+                perturbed_rest_state(grid, amplitude_k=2.0,
+                                     center_lat_deg=80.0), 3
+            )
+        assert outs["quadratic"].max_difference(outs["sharp"]) > 0.0

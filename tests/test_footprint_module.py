@@ -1,0 +1,56 @@
+"""The footprint prober itself."""
+import numpy as np
+import pytest
+
+from repro.operators.footprint import Footprint, probe_footprint
+from repro.operators.shifts import sx, sy, sz
+
+
+class TestProbe:
+    def test_identity_operator(self):
+        fp = probe_footprint(lambda a: a.copy(), (4, 6, 8))
+        assert fp.x == (0,) and fp.y == (0,) and fp.z == (0,)
+
+    def test_shift_operator(self):
+        # out[i] = a[i+2] -> output depends on input offset +2
+        fp = probe_footprint(lambda a: sx(a, 2), (4, 6, 8))
+        assert fp.x == (2,)
+
+    def test_centered_difference(self):
+        fp = probe_footprint(lambda a: sx(a, 1) - sx(a, -1), (4, 6, 8))
+        assert set(fp.x) == {-1, 1}
+
+    def test_3d_stencil(self):
+        def op(a):
+            return a + sy(a, 1) + sz(a, -1)
+
+        fp = probe_footprint(op, (4, 6, 8))
+        assert set(fp.x) == {0}
+        assert set(fp.y) == {0, 1}
+        assert set(fp.z) == {-1, 0}
+
+    def test_periodic_wrap_normalized(self):
+        """A shift near the seam reports the short-way offset."""
+        fp = probe_footprint(
+            lambda a: sx(a, 3), (2, 4, 8), probe_point=(1, 2, 1)
+        )
+        assert fp.x == (3,)
+
+    def test_zero_operator(self):
+        fp = probe_footprint(lambda a: np.zeros_like(a), (2, 4, 6))
+        assert fp.x == () and fp.y == () and fp.z == ()
+
+    def test_nonlinear_operator_probed_at_base(self):
+        fp = probe_footprint(lambda a: a**2 + sy(a, -1) * a, (2, 6, 6))
+        assert set(fp.y) == {-1, 0}
+
+
+class TestFootprintType:
+    def test_within(self):
+        fp = Footprint(x=(-1, 0, 1), y=(0,), z=(0,))
+        assert fp.within(x=(-2, -1, 0, 1, 2), y=(0, 1), z=(0,))
+        assert not fp.within(x=(0, 1), y=(0,), z=(0,))
+
+    def test_radii(self):
+        fp = Footprint(x=(-3, 0, 2), y=(0, 1), z=())
+        assert fp.radii == (3, 1, 0)

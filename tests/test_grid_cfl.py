@@ -1,0 +1,38 @@
+"""CFL and pole-clustering diagnostics."""
+import pytest
+
+from repro.grid.cfl import cfl_report, max_stable_dt, polar_clustering_ratio
+from repro.grid.latlon import LatLonGrid, paper_grid
+
+
+class TestClustering:
+    def test_ratio_grows_with_resolution(self):
+        coarse = LatLonGrid(nx=32, ny=16, nz=4)
+        fine = LatLonGrid(nx=128, ny=64, nz=4)
+        assert polar_clustering_ratio(fine) > polar_clustering_ratio(coarse)
+
+    def test_paper_grid_severe(self):
+        # at 0.5 deg the polar circle is >100x shorter than the equator
+        assert polar_clustering_ratio(paper_grid()) > 100
+
+
+class TestCflReport:
+    def test_polar_restriction(self, small_grid):
+        r = cfl_report(small_grid, dt=300.0)
+        assert r.cfl_zonal_worst > r.cfl_zonal_equator
+        assert r.min_dx < r.max_dx
+
+    def test_filter_rescues_time_step(self):
+        g = paper_grid()
+        dt = max_stable_dt(g, filtered=True)
+        r = cfl_report(g, dt)
+        assert not r.stable_unfiltered  # would violate polar CFL
+        assert r.stable_filtered
+
+    def test_rejects_bad_dt(self, small_grid):
+        with pytest.raises(ValueError):
+            cfl_report(small_grid, dt=0.0)
+
+    def test_unfiltered_dt_much_smaller(self):
+        g = paper_grid()
+        assert max_stable_dt(g, filtered=False) < max_stable_dt(g, filtered=True) / 50

@@ -1,0 +1,138 @@
+"""Block decompositions: extents, neighbours, gather/scatter."""
+import numpy as np
+import pytest
+
+from repro.grid.decomposition import (
+    BlockExtent,
+    Decomposition,
+    balanced_partition,
+    best_2d_factorization,
+    xy_decomposition,
+    yz_decomposition,
+)
+
+
+class TestBalancedPartition:
+    def test_covers_range(self):
+        bounds = balanced_partition(17, 5)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 17
+        for (a0, a1), (b0, b1) in zip(bounds, bounds[1:]):
+            assert a1 == b0
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [b - a for a, b in balanced_partition(100, 7)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_overdecomposition(self):
+        with pytest.raises(ValueError):
+            balanced_partition(3, 5)
+
+
+class TestDecomposition:
+    def test_kind_detection(self):
+        assert Decomposition(16, 8, 4, 1, 1, 1).kind == "serial"
+        assert Decomposition(16, 8, 4, 2, 2, 1).kind == "xy"
+        assert Decomposition(16, 8, 4, 1, 2, 2).kind == "yz"
+        assert Decomposition(16, 8, 4, 1, 4, 1).kind == "yz"
+        assert Decomposition(16, 8, 4, 2, 2, 2).kind == "3d"
+
+    def test_coords_roundtrip(self):
+        d = Decomposition(16, 8, 4, 2, 2, 2)
+        for r in range(d.nranks):
+            assert d.rank_of(*d.coords(r)) == r
+
+    def test_extents_tile_the_mesh(self):
+        d = Decomposition(17, 9, 5, 2, 3, 2)
+        cover = np.zeros((5, 9, 17), dtype=int)
+        for ext in d.extents():
+            cover[ext.slices3d()] += 1
+        assert np.all(cover == 1)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            Decomposition(16, 8, 4, 1, 9, 1)
+
+    def test_neighbour_periodic_x(self):
+        d = Decomposition(16, 8, 4, 4, 2, 1)
+        r = d.rank_of(0, 0, 0)
+        assert d.neighbour(r, -1, 0, 0) == d.rank_of(3, 0, 0)
+
+    def test_neighbour_bounded_y(self):
+        d = Decomposition(16, 8, 4, 1, 4, 1)
+        top = d.rank_of(0, 0, 0)
+        assert d.neighbour(top, 0, -1, 0) is None
+        bot = d.rank_of(0, 3, 0)
+        assert d.neighbour(bot, 0, 1, 0) is None
+
+    def test_plane_neighbours_interior_yz(self):
+        d = Decomposition(16, 12, 9, 1, 3, 3)
+        centre = d.rank_of(0, 1, 1)
+        nbs = d.plane_neighbours(centre)
+        assert len(nbs) == 8
+        assert all(nb != centre for nb in nbs.values())
+
+    def test_plane_neighbours_corner_yz(self):
+        d = Decomposition(16, 12, 9, 1, 3, 3)
+        corner = d.rank_of(0, 0, 0)
+        assert len(d.plane_neighbours(corner)) == 3
+
+    def test_ranks_along_axes(self):
+        d = Decomposition(16, 8, 4, 2, 2, 2)
+        r = d.rank_of(1, 0, 1)
+        assert d.ranks_along("z", r) == [d.rank_of(1, 0, 0), d.rank_of(1, 0, 1)]
+        assert len(d.ranks_along("x", r)) == 2
+        with pytest.raises(ValueError):
+            d.ranks_along("w", r)
+
+
+class TestGatherScatter:
+    def test_roundtrip_3d(self, rng):
+        d = Decomposition(16, 9, 5, 2, 3, 1)
+        g = rng.standard_normal((5, 9, 16))
+        blocks = [d.scatter(g, r) for r in range(d.nranks)]
+        assert np.array_equal(d.gather(blocks), g)
+
+    def test_roundtrip_2d(self, rng):
+        d = Decomposition(16, 9, 5, 1, 3, 1)
+        g = rng.standard_normal((9, 16))
+        blocks = [d.scatter(g, r) for r in range(d.nranks)]
+        assert np.array_equal(d.gather(blocks), g)
+
+    def test_gather_rejects_wrong_count(self):
+        d = Decomposition(16, 8, 4, 2, 1, 1)
+        with pytest.raises(ValueError):
+            d.gather([np.zeros((4, 8, 8))])
+
+    def test_gather_rejects_wrong_shape(self):
+        d = Decomposition(16, 8, 4, 2, 1, 1)
+        with pytest.raises(ValueError):
+            d.gather([np.zeros((4, 8, 9)), np.zeros((4, 8, 8))])
+
+
+class TestFactorization:
+    def test_exact_product(self):
+        for p in (2, 4, 8, 16, 64):
+            a, b = best_2d_factorization(p, 360, 30)
+            assert a * b == p
+
+    def test_respects_limits(self):
+        a, b = best_2d_factorization(64, 360, 30)
+        assert a <= 180 and b <= 15
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            best_2d_factorization(64, 4, 4)
+
+    def test_yz_has_px_one(self):
+        d = yz_decomposition(720, 360, 30, 64)
+        assert d.px == 1 and d.kind == "yz"
+
+    def test_xy_has_pz_one(self):
+        d = xy_decomposition(720, 360, 30, 64)
+        assert d.pz == 1 and d.kind == "xy"
+
+    def test_paper_scale_1024(self):
+        d = yz_decomposition(720, 360, 30, 1024)
+        assert d.nranks == 1024
+        assert d.py <= 180 and d.pz <= 15

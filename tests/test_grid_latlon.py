@@ -1,0 +1,82 @@
+"""The latitude-longitude mesh."""
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.grid.latlon import LatLonGrid, PAPER_GRID_SHAPE, paper_grid
+
+
+class TestConstruction:
+    def test_shapes(self, small_grid):
+        assert small_grid.shape3d == (6, 16, 32)
+        assert small_grid.shape2d == (16, 32)
+        assert small_grid.npoints == 6 * 16 * 32
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            LatLonGrid(nx=2, ny=16, nz=4)
+        with pytest.raises(ValueError):
+            LatLonGrid(nx=16, ny=2, nz=4)
+
+    def test_rejects_odd_nx(self):
+        with pytest.raises(ValueError):
+            LatLonGrid(nx=15, ny=8, nz=4)
+
+    def test_paper_grid(self):
+        g = paper_grid()
+        assert (g.nx, g.ny, g.nz) == PAPER_GRID_SHAPE
+        # ~50 km at the equator
+        assert g.cell_dx().max() == pytest.approx(55_600, rel=0.02)
+
+
+class TestCoordinates:
+    def test_longitudes_cover_circle(self, small_grid):
+        lon = small_grid.lon
+        assert lon[0] == 0.0
+        assert lon[-1] == pytest.approx(2 * np.pi - small_grid.dlambda)
+
+    def test_colatitudes_offset_from_poles(self, small_grid):
+        th = small_grid.theta_c
+        assert th[0] == pytest.approx(small_grid.dtheta / 2)
+        assert th[-1] == pytest.approx(np.pi - small_grid.dtheta / 2)
+        assert np.all(np.diff(th) > 0)
+
+    def test_v_rows_are_interfaces(self, small_grid):
+        # V row j sits between centre rows j and j+1
+        assert np.allclose(
+            small_grid.theta_v[:-1],
+            0.5 * (small_grid.theta_c[:-1] + small_grid.theta_c[1:]),
+        )
+        assert small_grid.theta_v[-1] == pytest.approx(np.pi)
+
+    def test_latitude_degrees_symmetric(self, small_grid):
+        lat = small_grid.latitude_degrees()
+        assert np.allclose(lat, -lat[::-1])
+
+
+class TestMetric:
+    def test_areas_sum_to_sphere(self, small_grid):
+        total = small_grid.cell_area().sum() * small_grid.nx
+        assert total == pytest.approx(small_grid.total_area(), rel=1e-12)
+
+    def test_areas_positive_and_equator_largest(self, small_grid):
+        area = small_grid.cell_area()
+        assert np.all(area > 0)
+        assert area.argmax() in (small_grid.ny // 2 - 1, small_grid.ny // 2)
+
+    def test_dx_collapses_at_poles(self, small_grid):
+        dx = small_grid.cell_dx()
+        assert dx[0] < dx[small_grid.ny // 2]
+        assert dx[0] == dx.min() or dx[-1] == dx.min()
+
+    def test_coriolis_sign(self, small_grid):
+        # 2 Omega cos(theta): positive in the northern hemisphere
+        f = small_grid.coriolis_centre()
+        assert f[0] > 0
+        assert f[-1] < 0
+        assert abs(f[0]) == pytest.approx(abs(f[-1]))
+
+    def test_dy_uniform(self, small_grid):
+        assert small_grid.cell_dy() == pytest.approx(
+            constants.EARTH_RADIUS * np.pi / small_grid.ny
+        )

@@ -1,0 +1,60 @@
+"""Sigma vertical levels."""
+import numpy as np
+import pytest
+
+from repro.grid.sigma import SigmaLevels
+
+
+class TestUniform:
+    def test_basic(self):
+        s = SigmaLevels.uniform(5)
+        assert s.nz == 5
+        assert np.allclose(s.dsigma, 0.2)
+        assert s.interfaces[0] == 0.0
+        assert s.interfaces[-1] == 1.0
+
+    def test_mid_between_interfaces(self):
+        s = SigmaLevels.uniform(4)
+        assert np.all(s.mid > s.interfaces[:-1])
+        assert np.all(s.mid < s.interfaces[1:])
+
+    def test_thickness_sums_to_one(self):
+        for nz in (1, 3, 10, 30):
+            assert SigmaLevels.uniform(nz).dsigma.sum() == pytest.approx(1.0)
+
+
+class TestStretched:
+    def test_refines_toward_surface(self):
+        s = SigmaLevels.stretched(10, stretch=2.0)
+        assert s.dsigma[-1] < s.dsigma[0]
+        assert s.dsigma.sum() == pytest.approx(1.0)
+
+    def test_stretch_one_is_uniform(self):
+        s = SigmaLevels.stretched(6, stretch=1.0)
+        assert np.allclose(s.dsigma, 1.0 / 6.0)
+
+    def test_rejects_bad_stretch(self):
+        with pytest.raises(ValueError):
+            SigmaLevels.stretched(5, stretch=0.0)
+
+
+class TestValidation:
+    def test_rejects_wrong_range(self):
+        with pytest.raises(ValueError):
+            SigmaLevels(np.array([0.1, 0.5, 1.0]))
+        with pytest.raises(ValueError):
+            SigmaLevels(np.array([0.0, 0.5, 0.9]))
+
+    def test_rejects_nonmonotone(self):
+        with pytest.raises(ValueError):
+            SigmaLevels(np.array([0.0, 0.6, 0.4, 1.0]))
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            SigmaLevels(np.array([0.5]))
+
+    def test_weights_are_copies(self):
+        s = SigmaLevels.uniform(4)
+        w = s.thickness_weights()
+        w[0] = 99.0
+        assert s.dsigma[0] == pytest.approx(0.25)

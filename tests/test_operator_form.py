@@ -1,0 +1,130 @@
+"""The operator form of the calculating flow (Eq. 8 / Figure 2).
+
+Crucial property: the schedule derived from the operator form must agree
+with the *instrumented counters of the executed cores* — the abstraction
+and the implementation describe the same algorithm.
+"""
+import pytest
+
+from repro.constants import ModelParameters
+from repro.core.comm_avoiding import ca_rank_program
+from repro.core.distributed import DistributedConfig, original_rank_program
+from repro.core.operator_form import (
+    COMM_COLLECTIVE_X,
+    COMM_COLLECTIVE_Z,
+    render_flow,
+    step_schedule,
+)
+from repro.grid.decomposition import Decomposition
+from repro.grid.latlon import LatLonGrid
+from repro.physics import perturbed_rest_state
+from repro.simmpi import run_spmd
+
+
+class TestExpansion:
+    def test_operator_counts_eq8(self):
+        """(F L)^3 (F C A)^{3M}: 3M A's, 3M C's, 3 L's, 3M+3 F's, 1 S."""
+        for M in (1, 2, 3):
+            s = step_schedule("original", "yz", M)
+            assert s.count("A") == 3 * M
+            assert s.count("C") == 3 * M
+            assert s.count("L") == 3
+            assert s.count("F") == 3 * M + 3
+            assert s.count("S") == 1
+
+    def test_original_exchange_count(self):
+        """3M + 3 + 1 = 13 exchanges for M = 3 (Sec. 5.2)."""
+        s = step_schedule("original", "yz", 3)
+        assert s.halo_exchanges == 13
+
+    def test_ca_exchange_count(self):
+        s = step_schedule("ca", "yz", 3)
+        assert s.halo_exchanges == 2
+
+    def test_collective_frequencies(self):
+        orig = step_schedule("original", "yz", 3)
+        ca = step_schedule("ca", "yz", 3)
+        assert orig.z_collectives == 9
+        assert ca.z_collectives == 6  # 2M: one stale C per iteration
+        assert orig.x_collectives == 0  # x axis whole under Y-Z
+
+    def test_xy_filter_collectives(self):
+        s = step_schedule("original", "xy", 3)
+        assert s.x_collectives == 3 * 3 + 3
+        assert s.z_collectives == 0
+
+    def test_3d_pays_both(self):
+        s = step_schedule("original", "3d", 3)
+        assert s.x_collectives > 0 and s.z_collectives > 0
+
+    def test_synchronization_counts_ordering(self):
+        """S_XY > S_YZ > S_CA — the Sec. 5.3 latency ordering, derived
+        directly from the operator form."""
+        s_xy = step_schedule("original", "xy", 3).synchronizations
+        s_yz = step_schedule("original", "yz", 3).synchronizations
+        s_ca = step_schedule("ca", "yz", 3).synchronizations
+        assert s_xy > s_yz > s_ca
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_schedule("bogus", "yz")
+        with pytest.raises(ValueError):
+            step_schedule("original", "diagonal")
+        with pytest.raises(ValueError):
+            step_schedule("ca", "xy")
+
+
+class TestAgainstExecutedCores:
+    @pytest.fixture(scope="class")
+    def executed(self):
+        grid = LatLonGrid(nx=32, ny=16, nz=8)
+        params = ModelParameters(
+            dt_adaptation=60.0, dt_advection=60.0, m_iterations=1
+        )
+        decomp = Decomposition(grid.nx, grid.ny, grid.nz, 1, 2, 2)
+        state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+        nsteps = 3
+        out = {}
+        for name, program in (
+            ("original", original_rank_program), ("ca", ca_rank_program)
+        ):
+            cfg = DistributedConfig(
+                grid=grid, decomp=decomp, params=params, nsteps=nsteps
+            )
+            out[name] = run_spmd(decomp.nranks, program, cfg, state0)
+        return nsteps, out
+
+    def test_exchange_frequency_matches(self, executed):
+        nsteps, out = executed
+        sched_orig = step_schedule("original", "yz", 1)
+        sched_ca = step_schedule("ca", "yz", 1)
+        # executed original has one extra initial refresh
+        assert (
+            out["original"].results[0].exchanges
+            == sched_orig.halo_exchanges * nsteps + 1
+        )
+        assert out["ca"].results[0].exchanges == sched_ca.halo_exchanges * nsteps
+
+    def test_collective_frequency_matches(self, executed):
+        nsteps, out = executed
+        sched_orig = step_schedule("original", "yz", 1)
+        sched_ca = step_schedule("ca", "yz", 1)
+        assert (
+            out["original"].results[0].c_calls
+            == sched_orig.z_collectives * nsteps
+        )
+        # executed CA pays one cold-start C in the first step
+        assert (
+            out["ca"].results[0].c_calls
+            == sched_ca.z_collectives * nsteps + 1
+        )
+
+
+class TestRendering:
+    def test_flow_contains_sequence_and_totals(self):
+        text = render_flow(step_schedule("original", "yz", 3))
+        assert "13 exchanges" in text
+        assert "9 z-collectives" in text
+        text_ca = render_flow(step_schedule("ca", "yz", 3))
+        assert "2 exchanges" in text_ca
+        assert "6 z-collectives" in text_ca

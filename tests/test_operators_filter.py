@@ -1,0 +1,136 @@
+"""The Fourier polar filter F."""
+import numpy as np
+import pytest
+
+from repro.constants import ModelParameters
+from repro.grid.sigma import SigmaLevels
+from repro.operators.filter import (
+    PolarFilter,
+    apply_filter_rows,
+    damping_factors,
+)
+from repro.operators.geometry import WorkingGeometry
+from repro.state.variables import ModelState
+
+
+@pytest.fixture
+def geom(small_grid):
+    sigma = SigmaLevels.uniform(small_grid.nz)
+    return WorkingGeometry.build_global(small_grid, sigma, gy=2, gz=0)
+
+
+@pytest.fixture
+def pfilter(geom):
+    return PolarFilter(geom, ModelParameters())
+
+
+class TestDampingFactors:
+    def test_mask_selects_polar_rows_only(self, small_grid):
+        import math
+
+        sin_rows = np.sin(small_grid.theta_c)
+        mask, _ = damping_factors(sin_rows, small_grid.nx, math.radians(70.0))
+        lat = np.abs(90.0 - np.degrees(small_grid.theta_c))
+        assert np.array_equal(mask, lat > 70.0)
+
+    def test_zonal_mean_never_damped(self, small_grid):
+        import math
+
+        sin_rows = np.sin(small_grid.theta_c)
+        _, factors = damping_factors(sin_rows, small_grid.nx, math.radians(70.0))
+        assert np.all(factors[:, 0] == 1.0)
+
+    def test_factors_decrease_with_wavenumber(self, small_grid):
+        import math
+
+        sin_rows = np.sin(small_grid.theta_c)
+        _, factors = damping_factors(sin_rows, small_grid.nx, math.radians(70.0))
+        for row in factors:
+            assert np.all(np.diff(row[1:]) <= 1e-15)
+
+    def test_rows_nearer_pole_damped_harder(self, small_grid):
+        import math
+
+        sin_rows = np.sin(small_grid.theta_c)
+        mask, factors = damping_factors(
+            sin_rows, small_grid.nx, math.radians(70.0)
+        )
+        # first masked row is closest to the pole
+        m_hi = small_grid.nx // 2
+        assert factors[0, m_hi] <= factors[1, m_hi]
+
+
+class TestApplication:
+    def test_high_wavenumber_removed_at_pole(self, geom, pfilter):
+        nz_w, ny_w, nx = geom.shape3d
+        arr = np.zeros((nz_w, ny_w, nx))
+        m_high = nx // 2 - 1
+        i = np.arange(nx)
+        arr[:, :, :] = np.cos(2 * np.pi * m_high * i / nx)
+        pole_row = geom.gy  # first interior row (closest to the north pole)
+        before = arr[0, pole_row].copy()
+        pfilter.apply(arr, rows="c")
+        after = arr[0, pole_row]
+        assert np.abs(after).max() < 0.1 * np.abs(before).max()
+
+    def test_equatorial_rows_untouched(self, geom, pfilter, rng):
+        nz_w, ny_w, nx = geom.shape3d
+        arr = rng.standard_normal((nz_w, ny_w, nx))
+        eq = ny_w // 2
+        before = arr[:, eq].copy()
+        pfilter.apply(arr, rows="c")
+        assert np.array_equal(arr[:, eq], before)
+
+    def test_zonal_mean_preserved_everywhere(self, geom, pfilter, rng):
+        nz_w, ny_w, nx = geom.shape3d
+        arr = rng.standard_normal((nz_w, ny_w, nx))
+        mean_before = arr.mean(axis=-1).copy()
+        pfilter.apply(arr, rows="c")
+        assert np.allclose(arr.mean(axis=-1), mean_before, atol=1e-12)
+
+    def test_apply_state_touches_all_fields(self, geom, pfilter, rng):
+        state = ModelState.zeros(geom.shape3d)
+        nx = geom.grid.nx
+        i = np.arange(nx)
+        wave = np.cos(2 * np.pi * (nx // 2 - 1) * i / nx)
+        for arr in (state.U, state.V, state.Phi):
+            arr[:, :, :] = wave
+        state.psa[:, :] = wave
+        pfilter.apply_state(state)
+        pole = geom.gy
+        for arr in (state.U, state.Phi, state.psa):
+            assert np.abs(arr[..., pole, :]).max() < 0.1
+
+    def test_idempotent_on_filtered_signal(self, geom, pfilter, rng):
+        """Filtering twice with a hard-ish profile changes little the
+        second time for already-damped high modes (soft idempotence)."""
+        nz_w, ny_w, nx = geom.shape3d
+        arr = rng.standard_normal((nz_w, ny_w, nx))
+        pfilter.apply(arr, rows="c")
+        once = arr.copy()
+        pfilter.apply(arr, rows="c")
+        # second pass damps by at most the same factors: differences are
+        # bounded by the first-pass residual
+        assert np.abs(arr - once).max() <= np.abs(once).max()
+
+    def test_rejects_split_x_geometry(self, small_grid):
+        from repro.grid.decomposition import BlockExtent
+
+        sigma = SigmaLevels.uniform(small_grid.nz)
+        ext = BlockExtent(0, small_grid.nx // 2, 0, small_grid.ny, 0, small_grid.nz)
+        geom = WorkingGeometry.build(small_grid, sigma, ext, gy=2, gz=0, gx=2)
+        with pytest.raises(ValueError):
+            PolarFilter(geom, ModelParameters())
+
+    def test_apply_filter_rows_matches_manual_fft(self, geom, rng):
+        nz_w, ny_w, nx = geom.shape3d
+        arr = rng.standard_normal((2, ny_w, nx))
+        mask = np.zeros(ny_w, dtype=bool)
+        mask[1] = True
+        factors = np.full((1, nx // 2 + 1), 0.5)
+        factors[0, 0] = 1.0
+        expected = np.fft.irfft(
+            np.fft.rfft(arr[:, 1, :], axis=-1) * factors[0], n=nx, axis=-1
+        )
+        apply_filter_rows(arr, mask, factors)
+        assert np.allclose(arr[:, 1, :], expected)

@@ -1,0 +1,91 @@
+"""WorkingGeometry: extended metrics and shapes."""
+import numpy as np
+import pytest
+
+from repro.grid.decomposition import BlockExtent
+from repro.grid.latlon import LatLonGrid
+from repro.grid.sigma import SigmaLevels
+from repro.operators.geometry import WorkingGeometry
+
+
+@pytest.fixture
+def grid():
+    return LatLonGrid(nx=16, ny=12, nz=6)
+
+
+@pytest.fixture
+def sigma():
+    return SigmaLevels.uniform(6)
+
+
+class TestGlobalGeometry:
+    def test_shapes(self, grid, sigma):
+        g = WorkingGeometry.build_global(grid, sigma, gy=2, gz=0)
+        assert g.shape3d == (6, 16, 16)
+        assert g.shape2d == (16, 16)
+        assert g.full_x
+
+    def test_boundary_flags(self, grid, sigma):
+        g = WorkingGeometry.build_global(grid, sigma, gy=2, gz=0)
+        assert g.touches_north and g.touches_south
+        assert g.touches_top and g.touches_bottom
+
+    def test_ghost_metric_mirrors_physical(self, grid, sigma):
+        """|sin| at a ghost row equals sin at its mirror row; cos matches
+        too (even about the pole)."""
+        g = WorkingGeometry.build_global(grid, sigma, gy=2, gz=0)
+        # ghost row gy-1 mirrors interior row gy
+        assert g.sin_c[1] == pytest.approx(g.sin_c[2])
+        assert g.cos_c[1] == pytest.approx(g.cos_c[2])
+        # ghost row gy-2 mirrors interior row gy+1
+        assert g.sin_c[0] == pytest.approx(g.sin_c[3])
+
+    def test_sin_v_never_zero(self, grid, sigma):
+        g = WorkingGeometry.build_global(grid, sigma, gy=3, gz=0)
+        assert np.all(g.sin_v > 0)
+
+    def test_interior_views(self, grid, sigma):
+        g = WorkingGeometry.build_global(grid, sigma, gy=2, gz=0)
+        a = np.zeros(g.shape3d)
+        assert g.interior3d(a).shape == (6, 12, 16)
+        b = np.zeros(g.shape2d)
+        assert g.interior2d(b).shape == (12, 16)
+
+
+class TestBlockGeometry:
+    def test_z_ghost_sigma_replicated(self, grid, sigma):
+        ext = BlockExtent(0, 16, 0, 12, 2, 4)
+        g = WorkingGeometry.build(grid, sigma, ext, gy=2, gz=2)
+        # ghost below z0=2 replicates level 0's clipped values
+        assert g.sigma_mid[0] == pytest.approx(sigma.mid[0])
+        assert g.sigma_mid[1] == pytest.approx(sigma.mid[1])
+        assert g.sigma_mid[2] == pytest.approx(sigma.mid[2])
+        assert g.dsigma.shape == (2 + 2 * 2,)
+
+    def test_interior_block_flags(self, grid, sigma):
+        ext = BlockExtent(0, 16, 3, 9, 2, 4)
+        g = WorkingGeometry.build(grid, sigma, ext, gy=2, gz=1)
+        assert not g.touches_north and not g.touches_south
+        assert not g.touches_top and not g.touches_bottom
+
+    def test_rejects_gx_on_full_rows(self, grid, sigma):
+        ext = BlockExtent(0, 16, 0, 12, 0, 6)
+        with pytest.raises(ValueError):
+            WorkingGeometry.build(grid, sigma, ext, gy=2, gz=0, gx=2)
+
+    def test_rejects_mismatched_sigma(self, grid):
+        bad = SigmaLevels.uniform(4)
+        ext = BlockExtent(0, 16, 0, 12, 0, 6)
+        with pytest.raises(ValueError):
+            WorkingGeometry.build(grid, bad, ext, gy=1, gz=0)
+
+    def test_broadcast_helpers(self, grid, sigma):
+        g = WorkingGeometry.build_global(grid, sigma, gy=1, gz=0)
+        assert g.row3(g.sin_c).shape == (1, 14, 1)
+        assert g.row2(g.sin_c).shape == (14, 1)
+        assert g.lev3(g.sigma_mid).shape == (6, 1, 1)
+
+    def test_physical_spacings(self, grid, sigma):
+        g = WorkingGeometry.build_global(grid, sigma, gy=1, gz=0)
+        assert g.a_dlambda == pytest.approx(grid.radius * grid.dlambda)
+        assert g.a_dtheta == pytest.approx(grid.radius * grid.dtheta)

@@ -1,0 +1,108 @@
+"""C-grid staggering and finite-difference primitives."""
+import numpy as np
+import pytest
+
+from repro.operators.staggering import (
+    ddx_c2c,
+    ddx_c2u,
+    ddx_u2c,
+    ddy_c2c,
+    ddy_c2v,
+    ddy_v2c,
+    from_u,
+    from_v,
+    to_u,
+    to_v,
+    u_to_v,
+    v_to_u,
+)
+
+
+@pytest.fixture
+def linear_x():
+    """A field linear in the x index (avoiding the periodic seam)."""
+    nz, ny, nx = 2, 4, 16
+    i = np.arange(nx, dtype=float)
+    return np.broadcast_to(i, (nz, ny, nx)).copy()
+
+
+@pytest.fixture
+def linear_y():
+    nz, ny, nx = 2, 8, 4
+    j = np.arange(ny, dtype=float)[None, :, None]
+    return np.broadcast_to(j, (nz, ny, nx)).copy()
+
+
+class TestAverages:
+    def test_to_u_midpoint(self, linear_x):
+        # U-point i-1/2 between centres i-1 and i -> value i - 1/2
+        out = to_u(linear_x)
+        assert np.allclose(out[..., 2:-2][..., 0], 1.5)
+
+    def test_from_u_inverse_on_linear(self, linear_x):
+        out = from_u(to_u(linear_x))
+        assert np.allclose(out[..., 2:-2], linear_x[..., 2:-2])
+
+    def test_to_v_from_v_on_linear(self, linear_y):
+        assert np.allclose(to_v(linear_y)[:, 2:-2, :], linear_y[:, 2:-2, :] + 0.5)
+        assert np.allclose(from_v(linear_y)[:, 2:-2, :], linear_y[:, 2:-2, :] - 0.5)
+
+    def test_four_point_averages_constant(self):
+        a = np.full((2, 5, 6), 3.0)
+        assert np.allclose(v_to_u(a)[:, 1:-1, :], 3.0)
+        assert np.allclose(u_to_v(a)[:, 1:-1, :], 3.0)
+
+    def test_v_to_u_offsets(self, rng):
+        a = rng.standard_normal((1, 6, 8))
+        out = v_to_u(a)
+        j, i = 3, 4
+        expected = 0.25 * (
+            a[0, j - 1, i - 1] + a[0, j - 1, i] + a[0, j, i - 1] + a[0, j, i]
+        )
+        assert out[0, j, i] == pytest.approx(expected)
+
+    def test_u_to_v_offsets(self, rng):
+        a = rng.standard_normal((1, 6, 8))
+        out = u_to_v(a)
+        j, i = 3, 4
+        expected = 0.25 * (
+            a[0, j, i] + a[0, j, i + 1] + a[0, j + 1, i] + a[0, j + 1, i + 1]
+        )
+        assert out[0, j, i] == pytest.approx(expected)
+
+
+class TestDerivatives:
+    def test_exact_on_linear_x(self, linear_x):
+        d = 0.5
+        for deriv in (ddx_c2u, ddx_u2c, ddx_c2c):
+            out = deriv(linear_x, d)
+            assert np.allclose(out[..., 3:-3], 2.0), deriv.__name__
+
+    def test_exact_on_linear_y(self, linear_y):
+        d = 0.25
+        for deriv in (ddy_c2v, ddy_v2c, ddy_c2c):
+            out = deriv(linear_y, d)
+            assert np.allclose(out[:, 3:-3, :], 4.0), deriv.__name__
+
+    def test_constant_has_zero_derivative(self):
+        a = np.full((2, 4, 8), 7.0)
+        assert np.allclose(ddx_c2c(a, 0.1), 0.0)
+        assert np.allclose(ddy_c2c(a, 0.1)[:, 1:-1], 0.0)
+
+    def test_second_order_accuracy_x(self):
+        """Centred differences converge at O(h^2) on a smooth function."""
+        errs = []
+        for nx in (16, 32, 64):
+            x = 2 * np.pi * np.arange(nx) / nx
+            f = np.sin(x)[None, None, :] * np.ones((1, 2, nx))
+            d = ddx_c2c(f, 2 * np.pi / nx)
+            errs.append(np.max(np.abs(d[0, 0] - np.cos(x))))
+        assert errs[1] / errs[0] < 0.3
+        assert errs[2] / errs[1] < 0.3
+
+    def test_staggered_pair_telescopes(self, rng):
+        """ddx_u2c(to_u(f) * g_u) sums telescopically around the circle."""
+        f = rng.standard_normal((1, 3, 12))
+        flux = to_u(f)
+        div = ddx_u2c(flux, 1.0)
+        assert np.allclose(div.sum(axis=-1), 0.0, atol=1e-12)

@@ -1,0 +1,166 @@
+"""The C operator: vertical-integral diagnostics."""
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.grid.decomposition import BlockExtent
+from repro.grid.latlon import LatLonGrid
+from repro.grid.sigma import SigmaLevels
+from repro.operators.geometry import WorkingGeometry
+from repro.operators.vertical import (
+    compute_vertical_diagnostics,
+    divergence_dp,
+)
+from repro.physics import balanced_random_state
+from repro.state.transforms import p_factor
+
+
+@pytest.fixture
+def geom(small_grid):
+    sigma = SigmaLevels.uniform(small_grid.nz)
+    return WorkingGeometry.build_global(small_grid, sigma, gy=2, gz=0)
+
+
+def padded_state(state, geom):
+    """Embed an interior state into ghost-extended working arrays."""
+    from repro.core.tendencies import TendencyEngine
+    from repro.constants import ModelParameters
+
+    eng = TendencyEngine(geom, ModelParameters())
+    from repro.state.variables import ModelState
+
+    w = ModelState.zeros(geom.shape3d)
+    gy = geom.gy
+    for name, arr in state.fields().items():
+        getattr(w, name)[..., gy:-gy, :] = arr
+    eng.fill_physical_ghosts(w)
+    return w
+
+
+class TestDivergence:
+    def test_zero_for_rest(self, geom):
+        nz_w, ny_w, nx_w = geom.shape3d
+        U = np.zeros((nz_w, ny_w, nx_w))
+        V = np.zeros_like(U)
+        p_fac = np.full((ny_w, nx_w), 0.9)
+        assert np.allclose(divergence_dp(U, V, p_fac, geom), 0.0)
+
+    def test_mass_conservation(self, small_grid, geom, rng):
+        """The area integral of D(P) vanishes (flux form telescopes)."""
+        state = balanced_random_state(small_grid, rng)
+        w = padded_state(state, geom)
+        p_fac = p_factor(w.psa + constants.P_REFERENCE)
+        dp = divergence_dp(w.U, w.V, p_fac, geom)
+        gy = geom.gy
+        area = small_grid.cell_area()[:, None] / small_grid.nx
+        integral = float(np.sum(dp[:, gy:-gy, :] * area[None]))
+        scale = float(np.sum(np.abs(dp[:, gy:-gy, :]) * area[None]))
+        assert abs(integral) < 1e-10 * max(scale, 1e-30)
+
+
+class TestDiagnostics:
+    def test_boundary_interfaces_vanish(self, small_grid, geom, rng):
+        state = balanced_random_state(small_grid, rng)
+        w = padded_state(state, geom)
+        vd = compute_vertical_diagnostics(w.U, w.V, w.Phi, w.psa, geom)
+        assert np.allclose(vd.pw_iface[0], 0.0, atol=1e-18)
+        assert np.allclose(vd.pw_iface[-1], 0.0, atol=1e-14)
+        assert np.allclose(vd.sdot_iface[0], 0.0, atol=1e-18)
+        assert np.allclose(vd.sdot_iface[-1], 0.0, atol=1e-14)
+
+    def test_column_sum_matches_manual(self, small_grid, geom, rng):
+        state = balanced_random_state(small_grid, rng)
+        w = padded_state(state, geom)
+        vd = compute_vertical_diagnostics(w.U, w.V, w.Phi, w.psa, geom)
+        dsig = geom.dsigma[:, None, None]
+        manual = np.sum(dsig * vd.div_p, axis=0)
+        assert np.allclose(vd.column_sum, manual, rtol=1e-12)
+
+    def test_phi_prime_zero_for_zero_phi(self, small_grid, geom, rng):
+        state = balanced_random_state(small_grid, rng)
+        state.Phi[:] = 0.0
+        w = padded_state(state, geom)
+        vd = compute_vertical_diagnostics(w.U, w.V, w.Phi, w.psa, geom)
+        assert np.allclose(vd.phi_prime, 0.0)
+
+    def test_phi_prime_increases_upward_for_warm_column(self, small_grid, geom):
+        """A uniformly warm anomaly lifts geopotential aloft."""
+        from repro.state.variables import ModelState
+
+        state = ModelState.zeros(small_grid.shape3d)
+        state.Phi[:] = 1.0
+        w = padded_state(state, geom)
+        vd = compute_vertical_diagnostics(w.U, w.V, w.Phi, w.psa, geom)
+        gy = geom.gy
+        col = vd.phi_prime[:, gy + 3, 5]
+        assert np.all(np.diff(col) < 0)  # k grows downward -> phi' decreases
+        assert col[-1] > 0  # half-level centring leaves a positive surface value
+
+    def test_distributed_gather_matches_serial(self, small_grid, rng):
+        """Chunked z columns + gather hook == full-column computation.
+
+        Simulates two z-ranks: each builds its ghost-extended local block,
+        contributions are collected into the full-column stack (what the
+        z allgather produces), and each half's diagnostics must equal the
+        serial reference on its owned levels.
+        """
+        sigma = SigmaLevels.uniform(small_grid.nz)
+        state = balanced_random_state(small_grid, rng)
+        serial_geom = WorkingGeometry.build_global(small_grid, sigma, gy=2, gz=0)
+        w = padded_state(state, serial_geom)
+        vd_ref = compute_vertical_diagnostics(w.U, w.V, w.Phi, w.psa, serial_geom)
+
+        nz = small_grid.nz
+        halves = [(0, nz // 2), (nz // 2, nz)]
+
+        def local_block(full: np.ndarray, geom: WorkingGeometry) -> np.ndarray:
+            """Scatter a global working field into one z-block + ghosts."""
+            gz, z0, z1 = geom.gz, geom.extent.z0, geom.extent.z1
+            block = np.zeros(geom.shape3d)
+            src = full[max(0, z0 - gz): min(nz, z1 + gz)]
+            off = gz - (z0 - max(0, z0 - gz))
+            block[off: off + src.shape[0]] = src
+            if z0 - gz < 0:
+                block[0] = block[1]
+            if z1 + gz > nz:
+                block[-1] = block[-2]
+            return block
+
+        geoms, locals_ = [], []
+        for z0, z1 in halves:
+            ext = BlockExtent(0, small_grid.nx, 0, small_grid.ny, z0, z1)
+            geom = WorkingGeometry.build(small_grid, sigma, ext, gy=2, gz=1)
+            geoms.append(geom)
+            locals_.append({n: local_block(getattr(w, n), geom)
+                            for n in ("U", "V", "Phi")})
+
+        # assemble the full-column contribution stack (= the z allgather)
+        p_fac = p_factor(w.psa + constants.P_REFERENCE)
+        stacks = []
+        for geom, loc in zip(geoms, locals_):
+            gz, nz_own = geom.gz, geom.extent.nz
+            dp = divergence_dp(loc["U"], loc["V"], p_fac, geom)
+            owned = slice(gz, gz + nz_own)
+            dsig = geom.lev3(geom.dsigma[owned])
+            sig = geom.lev3(geom.sigma_mid[owned])
+            stacks.append(np.stack(
+                [dsig * dp[owned], (dsig / sig) * loc["Phi"][owned]]
+            ))
+        full_stack = np.concatenate(stacks, axis=1)
+
+        for (z0, z1), geom, loc in zip(halves, geoms, locals_):
+            vd = compute_vertical_diagnostics(
+                loc["U"], loc["V"], loc["Phi"], w.psa, geom,
+                gather=lambda s: full_stack,
+            )
+            gz = geom.gz
+            own = slice(gz, gz + (z1 - z0))
+            assert np.allclose(
+                vd.phi_prime[own], vd_ref.phi_prime[z0:z1], rtol=1e-12
+            )
+            assert np.allclose(vd.column_sum, vd_ref.column_sum, rtol=1e-12)
+            assert np.allclose(
+                vd.pw_iface[gz: gz + (z1 - z0) + 1],
+                vd_ref.pw_iface[z0: z1 + 1],
+                rtol=1e-12, atol=1e-15,
+            )

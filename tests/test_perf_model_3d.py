@@ -1,0 +1,43 @@
+"""The 3-D decomposition baseline in the projection model."""
+import pytest
+
+from repro.grid.latlon import paper_grid
+from repro.perf.model import PAPER_PROC_SWEEP, PerformanceModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel(paper_grid())
+
+
+class Test3DBaseline:
+    def test_decomposition_has_all_axes_split(self, model):
+        d = model.decomposition("original-3d", 256)
+        assert d.kind == "3d"
+        assert d.px > 1 and d.py > 1 and d.pz > 1
+        assert d.nranks == 256
+
+    def test_both_collectives_live(self, model):
+        """3-D pays for the filter x-collective AND the z summation —
+        its collective time exceeds both 2-D variants."""
+        for p in PAPER_PROC_SWEEP:
+            c3 = model.timing("original-3d", p).collective_comm_time
+            cxy = model.timing("original-xy", p).collective_comm_time
+            cyz = model.timing("original-yz", p).collective_comm_time
+            assert c3 > cxy
+            assert c3 > cyz
+
+    def test_3d_least_efficient_total(self, model):
+        """Sec. 2.2: 2-D decompositions 'are always more efficient than
+        3-dimensional decomposition in real-world applications'."""
+        for p in PAPER_PROC_SWEEP:
+            t3 = model.timing("original-3d", p).total_time
+            assert t3 > model.timing("original-yz", p).total_time
+            assert t3 > model.timing("ca", p).total_time
+
+    def test_more_neighbours_in_stencil(self, model):
+        """26-neighbour exchanges make the 3-D stencil comm the priciest
+        original."""
+        s3 = model.timing("original-3d", 512).stencil_comm_time
+        sxy = model.timing("original-xy", 512).stencil_comm_time
+        assert s3 > sxy

@@ -1,0 +1,132 @@
+"""The Held-Suarez forcing and initial conditions."""
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.constants import ModelParameters
+from repro.grid.sigma import SigmaLevels
+from repro.operators.geometry import WorkingGeometry
+from repro.physics import (
+    HeldSuarezForcing,
+    balanced_random_state,
+    perturbed_rest_state,
+    rest_state,
+)
+from repro.physics.held_suarez import DAY
+from repro.state.variables import ModelState
+
+
+@pytest.fixture
+def geom(small_grid):
+    sigma = SigmaLevels.uniform(small_grid.nz)
+    return WorkingGeometry.build_global(small_grid, sigma, gy=0, gz=0)
+
+
+@pytest.fixture
+def forcing():
+    return HeldSuarezForcing()
+
+
+class TestEquilibriumProfile:
+    def test_warm_equator_cold_poles(self, geom, forcing):
+        ps = np.full(geom.shape2d, 1.0e5)
+        t_eq = forcing.equilibrium_temperature(geom, ps)
+        surf = t_eq[-1]  # lowest level
+        eq_row = geom.shape2d[0] // 2
+        assert surf[eq_row, 0] > surf[0, 0]
+        assert surf[eq_row, 0] > surf[-1, 0]
+
+    def test_equator_pole_contrast(self, geom, forcing):
+        ps = np.full(geom.shape2d, 1.0e5)
+        t_eq = forcing.equilibrium_temperature(geom, ps)
+        surf = t_eq[-1]
+        contrast = surf.max() - surf.min()
+        assert 40.0 < contrast < 70.0  # dT_y = 60 K, floored at 200 K
+
+    def test_temperature_floor(self, geom, forcing):
+        ps = np.full(geom.shape2d, 1.0e5)
+        t_eq = forcing.equilibrium_temperature(geom, ps)
+        assert np.all(t_eq >= forcing.t_floor)
+
+    def test_stratosphere_isothermal(self, geom, forcing):
+        ps = np.full(geom.shape2d, 1.0e5)
+        t_eq = forcing.equilibrium_temperature(geom, ps)
+        # top level should be at the floor everywhere (sigma ~ 0.08)
+        assert np.allclose(t_eq[0], forcing.t_floor)
+
+
+class TestRates:
+    def test_drag_only_in_boundary_layer(self, geom, forcing):
+        k_v = forcing.drag_rate(geom)
+        sigma = geom.sigma_mid
+        assert np.all(k_v[sigma < forcing.sigma_b] == 0.0)
+        assert k_v.ravel()[-1] > 0.0
+
+    def test_thermal_relaxation_bounds(self, geom, forcing):
+        k_t = forcing.relaxation_rate(geom)
+        assert np.all(k_t >= forcing.k_a - 1e-15)
+        assert np.all(k_t <= forcing.k_s + 1e-15)
+
+    def test_tropical_boundary_layer_fastest(self, geom, forcing):
+        k_t = forcing.relaxation_rate(geom)
+        eq = geom.shape2d[0] // 2
+        assert k_t[-1, eq, 0] > k_t[-1, 0, 0]
+        assert k_t[-1, eq, 0] > k_t[0, eq, 0]
+
+
+class TestApplication:
+    def test_drag_decays_winds(self, small_grid, geom, forcing, rng):
+        state = balanced_random_state(small_grid, rng, wind_amplitude=10.0)
+        u_surf_before = np.abs(state.U[-1]).max()
+        forcing(state, geom, dt=DAY)
+        assert np.abs(state.U[-1]).max() < u_surf_before
+
+    def test_top_winds_untouched(self, small_grid, geom, forcing, rng):
+        state = balanced_random_state(small_grid, rng, wind_amplitude=10.0)
+        top_before = state.U[0].copy()
+        forcing(state, geom, dt=DAY)
+        assert np.array_equal(state.U[0], top_before)
+
+    def test_relaxes_toward_equilibrium(self, small_grid, geom, forcing):
+        state = rest_state(small_grid)
+        phi_before = np.abs(state.Phi).max()
+        # k_a = 1/40 days: 400 days is ten e-folding times
+        forcing(state, geom, dt=400.0 * DAY)
+        assert np.abs(state.Phi).max() > phi_before
+        # a second long application changes (almost) nothing
+        snapshot = state.Phi.copy()
+        forcing(state, geom, dt=400.0 * DAY)
+        residual = np.abs(state.Phi - snapshot).max()
+        assert residual < 1e-3 * np.abs(state.Phi).max()
+
+    def test_exact_exponential_relaxation(self, small_grid, geom, forcing):
+        """Two half-steps == one full step (exact integrator property)."""
+        s1 = perturbed_rest_state(small_grid, amplitude_k=3.0)
+        s2 = s1.copy()
+        forcing(s1, geom, dt=1000.0)
+        forcing(s2, geom, dt=500.0)
+        forcing(s2, geom, dt=500.0)
+        assert s1.allclose(s2, rtol=1e-10, atol=1e-12)
+
+
+class TestInitialConditions:
+    def test_rest_state_zero(self, small_grid):
+        s = rest_state(small_grid)
+        assert s.max_abs() == 0.0
+
+    def test_perturbation_localized(self, small_grid):
+        s = perturbed_rest_state(
+            small_grid, amplitude_k=1.0, center_lat_deg=40.0,
+            center_lon_deg=90.0, width_deg=10.0,
+        )
+        assert s.isfinite()
+        peak = np.unravel_index(np.abs(s.Phi).argmax(), s.Phi.shape)
+        lat = 90.0 - np.degrees(small_grid.theta_c[peak[1]])
+        lon = np.degrees(small_grid.lon[peak[2]])
+        assert abs(lat - 40.0) < 15.0
+        assert abs(lon - 90.0) < 20.0
+
+    def test_random_state_pole_rows_zonal(self, small_grid, rng):
+        s = balanced_random_state(small_grid, rng)
+        assert np.ptp(s.U[:, 0, :], axis=-1).max() == pytest.approx(0.0)
+        assert np.all(s.V[:, -1, :] == 0.0)

@@ -1,0 +1,70 @@
+"""Property-based tests: decompositions tile the mesh for arbitrary sizes."""
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.decomposition import Decomposition, balanced_partition
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(1, 500), parts=st.integers(1, 32))
+def test_balanced_partition_invariants(n, parts):
+    if parts > n:
+        return
+    bounds = balanced_partition(n, parts)
+    assert bounds[0][0] == 0 and bounds[-1][1] == n
+    sizes = [b - a for a, b in bounds]
+    assert sum(sizes) == n
+    assert max(sizes) - min(sizes) <= 1
+    assert all(s > 0 for s in sizes)
+
+
+decomps = st.tuples(
+    st.integers(4, 40),  # nx (even)
+    st.integers(3, 30),  # ny
+    st.integers(1, 12),  # nz
+    st.integers(1, 4),   # px
+    st.integers(1, 4),   # py
+    st.integers(1, 4),   # pz
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=decomps)
+def test_extents_partition_exactly(params):
+    nx, ny, nz, px, py, pz = params
+    nx *= 2  # even
+    if px > nx or py > ny or pz > nz:
+        return
+    d = Decomposition(nx, ny, nz, px, py, pz)
+    cover = np.zeros((nz, ny, nx), dtype=np.int64)
+    for ext in d.extents():
+        cover[ext.slices3d()] += 1
+    assert np.all(cover == 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=decomps)
+def test_neighbour_relation_symmetric(params):
+    nx, ny, nz, px, py, pz = params
+    nx *= 2
+    if px > nx or py > ny or pz > nz:
+        return
+    d = Decomposition(nx, ny, nz, px, py, pz)
+    for rank in range(min(d.nranks, 8)):
+        for key, nb in d.plane_neighbours(rank).items():
+            back = d.plane_neighbours(nb)
+            assert rank in back.values()
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=decomps, seed=st.integers(0, 2**31 - 1))
+def test_scatter_gather_roundtrip(params, seed):
+    nx, ny, nz, px, py, pz = params
+    nx *= 2
+    if px > nx or py > ny or pz > nz:
+        return
+    d = Decomposition(nx, ny, nz, px, py, pz)
+    rng = np.random.default_rng(seed)
+    g = rng.standard_normal((nz, ny, nx))
+    blocks = [d.scatter(g, r) for r in range(d.nranks)]
+    assert np.array_equal(d.gather(blocks), g)

@@ -1,0 +1,56 @@
+"""Property-based tests: the ModelState linear space and packing."""
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.state.variables import ModelState
+
+shapes = st.tuples(
+    st.integers(1, 4), st.integers(2, 6), st.integers(2, 8)
+)
+
+
+def states(shape):
+    """Strategy for a ModelState of fixed shape with finite float64s."""
+    nz, ny, nx = shape
+    finite = st.floats(-1e6, 1e6, allow_nan=False, width=64)
+    arr3 = hnp.arrays(np.float64, (nz, ny, nx), elements=finite)
+    arr2 = hnp.arrays(np.float64, (ny, nx), elements=finite)
+    return st.builds(ModelState, U=arr3, V=arr3, Phi=arr3, psa=arr2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=shapes, data=st.data())
+def test_pack_unpack_roundtrip(shape, data):
+    s = data.draw(states(shape))
+    assert ModelState.unpack(s.pack(), shape).allclose(s, rtol=0, atol=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=shapes, data=st.data(), alpha=st.floats(-10, 10, allow_nan=False))
+def test_axpy_linear(shape, data, alpha):
+    a = data.draw(states(shape))
+    b = data.draw(states(shape))
+    out = a.axpy(alpha, b)
+    assert np.allclose(out.U, a.U + alpha * b.U, rtol=1e-12, atol=1e-9)
+    assert np.allclose(out.psa, a.psa + alpha * b.psa, rtol=1e-12, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=shapes, data=st.data())
+def test_midpoint_between(shape, data):
+    a = data.draw(states(shape))
+    b = data.draw(states(shape))
+    m = ModelState.midpoint(a, b)
+    lo = np.minimum(a.U, b.U) - 1e-9
+    hi = np.maximum(a.U, b.U) + 1e-9
+    assert np.all(m.U >= lo) and np.all(m.U <= hi)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=shapes, data=st.data())
+def test_max_difference_symmetric_and_zero_on_self(shape, data):
+    a = data.draw(states(shape))
+    b = data.draw(states(shape))
+    assert a.max_difference(a) == 0.0
+    assert a.max_difference(b) == b.max_difference(a)

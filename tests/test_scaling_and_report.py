@@ -1,0 +1,89 @@
+"""Strong-scaling analysis and the JSON experiment report."""
+import json
+
+import pytest
+
+from repro.analysis.scaling import (
+    ca_advantage_persists,
+    scaling_report,
+    strong_scaling,
+)
+from repro.grid.latlon import paper_grid
+from repro.perf.model import PAPER_PROC_SWEEP, PerformanceModel
+from repro.perf.report import full_report, headline_claims
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel(paper_grid())
+
+
+class TestStrongScaling:
+    def test_baseline_point(self, model):
+        pts = strong_scaling(model, "ca", [128, 512])
+        assert pts[0].nprocs == 128
+        assert pts[0].speedup == pytest.approx(1.0)
+        assert pts[0].efficiency == pytest.approx(1.0)
+
+    def test_speedup_below_ideal(self, model):
+        pts = strong_scaling(model, "original-yz", PAPER_PROC_SWEEP)
+        for pt in pts[1:]:
+            ideal = pt.nprocs / pts[0].nprocs
+            assert pt.speedup < ideal  # communication-bound code
+            assert pt.efficiency < 1.0
+
+    def test_ca_scales_better_than_yz(self, model):
+        ca = strong_scaling(model, "ca", PAPER_PROC_SWEEP)
+        yz = strong_scaling(model, "original-yz", PAPER_PROC_SWEEP)
+        # absolute time advantage at the largest size
+        assert ca[-1].total_time < yz[-1].total_time
+
+    def test_empty_procs_rejected(self, model):
+        with pytest.raises(ValueError):
+            strong_scaling(model, "ca", [])
+
+    def test_advantage_persists(self, model):
+        """The Sec. 5.3 scalability assertion over the paper's sweep."""
+        assert ca_advantage_persists(model, [128, 256, 512, 1024])
+
+    def test_yz_limit_is_1024(self, model):
+        """Sec. 5.1: 'the number of processes used under Y-Z decomposition
+        is 1024 at most' — 2048 = 2^11 has no feasible (p_y <= n_y/2,
+        p_z <= n_z/2) factorization on the 360 x 30 plane."""
+        with pytest.raises(ValueError):
+            model.decomposition("ca", 2048)
+
+    def test_report_renders(self, model):
+        text = scaling_report(model, ["ca"], [128, 256])
+        assert "speedup" in text and "ca" in text
+
+
+class TestReport:
+    def test_full_report_structure(self, model):
+        rep = full_report(model)
+        assert set(rep) == {
+            "meta", "figures", "headline_claims", "sec53", "strong_scaling"
+        }
+        assert rep["meta"]["mesh"] == [720, 360, 30]
+        assert rep["figures"]["procs"] == PAPER_PROC_SWEEP
+
+    def test_report_json_serializable(self, model):
+        text = json.dumps(full_report(model))
+        assert "headline_claims" in text
+
+    def test_headline_claims_close_to_paper(self, model):
+        claims = headline_claims(model)
+        for name, pair in claims.items():
+            paper, ours = pair["paper"], pair["reproduced"]
+            rel = abs(ours - paper) / abs(paper)
+            # every anchor within 60% (most within 15%; the CA stencil
+            # time carries the documented bundle-volume deviation)
+            assert rel < 0.6, f"{name}: paper {paper}, reproduced {ours}"
+
+    def test_tight_anchors(self, model):
+        claims = headline_claims(model)
+        for name in ("saved_vs_xy_1024_s", "saved_vs_yz_1024_s",
+                     "reduction_vs_xy_512", "collective_speedup_avg"):
+            pair = claims[name]
+            rel = abs(pair["reproduced"] - pair["paper"]) / abs(pair["paper"])
+            assert rel < 0.15, name

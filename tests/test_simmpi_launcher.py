@@ -1,0 +1,69 @@
+"""The SPMD launcher and statistics plumbing."""
+import numpy as np
+import pytest
+
+from repro.simmpi import SpmdError, run_spmd
+from repro.simmpi.stats import CommStats
+
+
+class TestLauncher:
+    def test_results_ordered_by_rank(self):
+        res = run_spmd(5, lambda comm: comm.rank * 10)
+        assert res.results == [0, 10, 20, 30, 40]
+        assert res.nranks == 5
+
+    def test_single_rank_fast_path(self):
+        res = run_spmd(1, lambda comm: comm.size)
+        assert res.results == [1]
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)
+
+    def test_exception_carries_rank(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise RuntimeError("boom on two")
+            # others still join a barrier-free return path
+            return comm.rank
+
+        with pytest.raises(SpmdError) as exc_info:
+            run_spmd(4, prog, timeout=2.0)
+        assert 2 in exc_info.value.failures
+        assert "boom on two" in exc_info.value.failures[2]
+
+    def test_makespan_is_max_clock(self):
+        def prog(comm):
+            comm.compute(0.1 * comm.rank)
+
+        res = run_spmd(3, prog)
+        assert res.makespan == pytest.approx(0.2)
+
+
+class TestStats:
+    def test_critical_stats_is_max(self):
+        def prog(comm):
+            comm.compute(float(comm.rank))
+            if comm.rank == 0:
+                comm.send(1, np.zeros(10))
+            elif comm.rank == 1:
+                comm.recv(0)
+
+        res = run_spmd(3, prog)
+        crit = res.critical_stats()
+        assert crit.compute_time == pytest.approx(2.0)
+        assert crit.p2p_messages_sent == 1
+
+    def test_tagged_time_merge(self):
+        a = CommStats()
+        a.add_tagged("x", 1.0)
+        b = CommStats()
+        b.add_tagged("x", 3.0)
+        b.add_tagged("y", 2.0)
+        merged = a.merge_max([b])
+        assert merged.tagged_time == {"x": 3.0, "y": 2.0}
+
+    def test_comm_time_sum(self):
+        s = CommStats(p2p_time=1.5, collective_time=2.5, compute_time=1.0)
+        assert s.comm_time == 4.0
+        assert s.total_time == 5.0

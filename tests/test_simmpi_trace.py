@@ -1,0 +1,171 @@
+"""Event tracing and the extra collectives of the simulated cluster."""
+import numpy as np
+import pytest
+
+from repro.simmpi import MachineModel, run_spmd
+from repro.simmpi.trace import busy_fraction, merge_timeline, render_gantt
+
+
+class TestTracing:
+    def test_trace_off_by_default(self):
+        res = run_spmd(2, lambda comm: comm.compute(0.1))
+        assert res.traces is None
+
+    def test_compute_events_recorded(self):
+        def prog(comm):
+            comm.compute(0.5, phase="stencil")
+            comm.compute(0.25)
+
+        res = run_spmd(2, prog, trace=True)
+        events = res.traces[0].events
+        assert len(events) == 2
+        assert events[0].kind == "compute"
+        assert events[0].duration == pytest.approx(0.5)
+        assert events[0].phase == "stencil"
+        assert events[1].t_start == pytest.approx(0.5)
+
+    def test_wait_events_recorded(self):
+        machine = MachineModel(alpha=0.0, beta=0.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.compute(1.0)
+                comm.send(1, np.zeros(4))
+            else:
+                comm.recv(0)
+
+        res = run_spmd(2, prog, machine=machine, trace=True)
+        waits = [e for e in res.traces[1].events if e.kind == "recv_wait"]
+        assert len(waits) == 1
+        assert waits[0].duration == pytest.approx(1.0)
+
+    def test_collective_events_recorded(self):
+        def prog(comm):
+            comm.compute(0.1 * comm.rank)
+            comm.allreduce(np.zeros(8))
+
+        res = run_spmd(3, prog, trace=True)
+        colls = [e for e in res.traces[0].events if e.kind == "collective"]
+        assert len(colls) == 1
+        assert "allreduce" in colls[0].detail
+
+    def test_merge_timeline_ordered(self):
+        def prog(comm):
+            comm.compute(0.1 * (comm.rank + 1))
+            comm.barrier()
+
+        res = run_spmd(3, prog, trace=True)
+        events = merge_timeline(res.traces)
+        starts = [e.t_start for e in events]
+        assert starts == sorted(starts)
+
+    def test_busy_fraction(self):
+        machine = MachineModel(alpha=0.0, beta=0.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.compute(1.0)
+                comm.send(1, np.zeros(4))
+            else:
+                comm.recv(0)
+
+        res = run_spmd(2, prog, machine=machine, trace=True)
+        assert busy_fraction(res.traces[0], "compute") == pytest.approx(1.0)
+        assert busy_fraction(res.traces[1], "recv_wait") == pytest.approx(1.0)
+
+    def test_gantt_renders(self):
+        def prog(comm):
+            comm.compute(0.2 if comm.rank else 0.6)
+            comm.barrier()
+
+        res = run_spmd(2, prog, trace=True)
+        text = render_gantt(res.traces, width=40)
+        assert "rank   0" in text
+        assert "#" in text and "=" in text
+
+    def test_gantt_empty(self):
+        res = run_spmd(2, lambda comm: None, trace=True)
+        assert render_gantt(res.traces) == "(empty trace)"
+
+
+class TestGatherScatter:
+    def test_gather_to_root(self):
+        def prog(comm):
+            out = comm.world_comm().gather(
+                np.array([float(comm.rank)]), root=1
+            )
+            return None if out is None else [float(a[0]) for a in out]
+
+        res = run_spmd(3, prog)
+        assert res.results == [None, [0.0, 1.0, 2.0], None]
+
+    def test_scatter_from_root(self):
+        def prog(comm):
+            payloads = None
+            if comm.rank == 0:
+                payloads = [np.full(2, float(i) * 10) for i in range(comm.size)]
+            got = comm.world_comm().scatter(payloads, root=0)
+            return float(got[0])
+
+        res = run_spmd(4, prog)
+        assert res.results == [0.0, 10.0, 20.0, 30.0]
+
+    def test_scatter_validates_count(self):
+        def prog(comm):
+            payloads = [np.zeros(2)] if comm.rank == 0 else None
+            comm.world_comm().scatter(payloads, root=0)
+
+        with pytest.raises(Exception):
+            run_spmd(2, prog, timeout=2.0)
+
+
+class TestAllreduceAlgorithms:
+    def test_recursive_doubling_cheaper_for_small_messages(self):
+        ring = MachineModel(alpha=1e-3, beta=1e-9, gamma=0.0)
+        rd = MachineModel(
+            alpha=1e-3, beta=1e-9, gamma=0.0,
+            allreduce_algorithm="recursive_doubling",
+        )
+        q, small = 16, 64
+        assert rd.allreduce_time(q, small) < ring.allreduce_time(q, small)
+
+    def test_ring_cheaper_for_large_messages(self):
+        ring = MachineModel(alpha=1e-6, beta=1e-9, gamma=0.0)
+        rd = MachineModel(
+            alpha=1e-6, beta=1e-9, gamma=0.0,
+            allreduce_algorithm="recursive_doubling",
+        )
+        q, big = 16, 10_000_000
+        assert ring.allreduce_time(q, big) < rd.allreduce_time(q, big)
+
+    def test_crossover_separates_regimes(self):
+        m = MachineModel(alpha=1e-5, beta=1e-9, gamma=5e-10)
+        q = 8
+        x = m.allreduce_crossover_bytes(q)
+        ring = MachineModel(alpha=1e-5, beta=1e-9, gamma=5e-10)
+        rd = MachineModel(
+            alpha=1e-5, beta=1e-9, gamma=5e-10,
+            allreduce_algorithm="recursive_doubling",
+        )
+        assert rd.allreduce_time(q, int(x * 0.5)) < ring.allreduce_time(
+            q, int(x * 0.5)
+        )
+        assert ring.allreduce_time(q, int(x * 2)) < rd.allreduce_time(
+            q, int(x * 2)
+        )
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel(allreduce_algorithm="telepathy")
+
+    def test_results_identical_across_algorithms(self):
+        """The algorithm choice changes cost only, never the result."""
+        def prog(comm):
+            return comm.allreduce(np.full(5, float(comm.rank + 1)))
+
+        ring = run_spmd(4, prog)
+        rd = run_spmd(
+            4, prog,
+            machine=MachineModel(allreduce_algorithm="recursive_doubling"),
+        )
+        assert np.array_equal(ring.results[0], rd.results[0])

@@ -1,0 +1,69 @@
+"""Checkpoint save/restore."""
+import numpy as np
+import pytest
+
+from repro.state.io import load_state, save_state
+from repro.state.variables import ModelState
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path, rng):
+        state = ModelState.random((3, 5, 8), rng)
+        path = tmp_path / "ckpt.npz"
+        save_state(path, state, step=42)
+        loaded, step = load_state(path)
+        assert step == 42
+        assert loaded.allclose(state, rtol=0, atol=0)
+
+    def test_loaded_is_independent(self, tmp_path, rng):
+        state = ModelState.random((2, 4, 6), rng)
+        path = tmp_path / "ckpt.npz"
+        save_state(path, state)
+        loaded, _ = load_state(path)
+        loaded.U += 1.0
+        loaded2, _ = load_state(path)
+        assert loaded2.allclose(state, rtol=0, atol=0)
+
+    def test_restart_continues_identically(self, tmp_path):
+        """Checkpoint/restart must be bit-transparent to the integration."""
+        from repro.constants import ModelParameters
+        from repro.core.integrator import SerialCore
+        from repro.grid.latlon import LatLonGrid
+        from repro.physics import perturbed_rest_state
+
+        grid = LatLonGrid(nx=16, ny=8, nz=4)
+        params = ModelParameters(dt_adaptation=60.0, dt_advection=180.0)
+        s0 = perturbed_rest_state(grid, amplitude_k=1.0)
+
+        straight = SerialCore(grid, params=params).run(s0, 4)
+
+        core_a = SerialCore(grid, params=params)
+        mid = core_a.run(s0, 2)
+        path = tmp_path / "restart.npz"
+        save_state(path, mid, step=2)
+        resumed, step = load_state(path)
+        assert step == 2
+        core_b = SerialCore(grid, params=params)
+        final = core_b.run(resumed, 2)
+        # note: the original (non-approximate) core carries no cross-step
+        # hidden state except the frozen sigma-dot bundle, which is
+        # recomputed each step -> exact restart
+        assert straight.max_difference(final) < 1e-12
+
+
+class TestValidation:
+    def test_missing_field(self, tmp_path, rng):
+        path = tmp_path / "bad.npz"
+        np.savez(path, U=np.zeros((1, 2, 3)))
+        with pytest.raises(ValueError):
+            load_state(path)
+
+    def test_wrong_version(self, tmp_path, rng):
+        state = ModelState.random((1, 3, 4), rng)
+        path = tmp_path / "old.npz"
+        np.savez(
+            path, version=np.int64(99), step=np.int64(0),
+            U=state.U, V=state.V, Phi=state.Phi, psa=state.psa,
+        )
+        with pytest.raises(ValueError):
+            load_state(path)

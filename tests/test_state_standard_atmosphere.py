@@ -1,0 +1,76 @@
+"""Standard stratification profiles."""
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.state.standard_atmosphere import StandardAtmosphere
+
+
+@pytest.fixture
+def atm() -> StandardAtmosphere:
+    return StandardAtmosphere()
+
+
+class TestTemperature:
+    def test_surface_value(self, atm):
+        assert atm.temperature(atm.p_surface) == pytest.approx(atm.t_surface)
+
+    def test_monotone_in_pressure(self, atm):
+        p = np.linspace(5e3, 1e5, 50)
+        t = atm.temperature(p)
+        assert np.all(np.diff(t) >= 0)
+
+    def test_tropopause_floor(self, atm):
+        assert atm.temperature(100.0) == pytest.approx(atm.t_tropopause)
+
+    def test_at_sigma_shapes(self, atm):
+        sig = np.array([0.1, 0.5, 0.9])
+        t = atm.temperature_at_sigma(sig)
+        assert t.shape == (3, 1, 1)
+        ps = np.full((4, 5), 1.0e5)
+        t2 = atm.temperature_at_sigma(sig, ps=ps)
+        assert t2.shape == (3, 4, 5)
+
+    def test_local_ps_shifts_reference(self, atm):
+        sig = np.array([0.5])
+        t_lo = atm.temperature_at_sigma(sig, ps=9.0e4)
+        t_hi = atm.temperature_at_sigma(sig, ps=1.05e5)
+        # at the same sigma, higher surface pressure means higher pressure
+        # and therefore a warmer standard temperature
+        assert t_hi.ravel()[0] > t_lo.ravel()[0]
+
+
+class TestGeopotential:
+    def test_zero_at_reference_surface(self, atm):
+        assert atm.geopotential(atm.p_surface) == pytest.approx(0.0)
+
+    def test_monotone_decreasing_in_pressure(self, atm):
+        p = np.linspace(1e3, 1e5, 100)
+        phi = atm.geopotential(p)
+        assert np.all(np.diff(phi) < 0)
+
+    def test_hydrostatic_consistency(self, atm):
+        """d(phi)/d(ln p) = -R T must hold through both branches."""
+        for p0 in (9.0e4, 5.0e4, atm.tropopause_pressure() * 1.01, 1.0e4):
+            dlnp = 1e-5
+            p_hi = p0 * np.exp(dlnp)
+            dphi = atm.geopotential(p_hi) - atm.geopotential(p0)
+            t_mid = atm.temperature(np.sqrt(p0 * p_hi))
+            assert dphi / dlnp == pytest.approx(
+                -constants.R_DRY * float(t_mid), rel=1e-3
+            )
+
+    def test_continuous_at_tropopause(self, atm):
+        """No jump: crossing the branch point changes phi only by the
+        hydrostatic increment -R T dp / p."""
+        pt = atm.tropopause_pressure()
+        eps = 1e-4
+        below = float(atm.geopotential(pt * (1 + eps)))
+        above = float(atm.geopotential(pt * (1 - eps)))
+        hydrostatic = 2 * eps * constants.R_DRY * atm.t_tropopause
+        assert above - below == pytest.approx(hydrostatic, rel=1e-2)
+
+
+class TestSurfaceDensity:
+    def test_rho_sa_reasonable(self, atm):
+        assert 1.1 < atm.rho_sa < 1.3  # kg/m^3 at ~288 K, 1000 hPa

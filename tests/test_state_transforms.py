@@ -1,0 +1,78 @@
+"""The IAP variable transform (Eq. 1)."""
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.grid.sigma import SigmaLevels
+from repro.state.standard_atmosphere import StandardAtmosphere
+from repro.state.transforms import (
+    p_es_from_ps,
+    p_factor,
+    physical_to_transformed,
+    transformed_to_physical,
+)
+
+
+class TestPFactor:
+    def test_reference_value(self):
+        P = p_factor(np.array(constants.P_REFERENCE))
+        expected = np.sqrt(
+            (constants.P_REFERENCE - constants.P_TOP) / constants.P_REFERENCE
+        )
+        assert float(P) == pytest.approx(float(expected))
+
+    def test_rejects_subtop_pressure(self):
+        with pytest.raises(ValueError):
+            p_factor(np.array(constants.P_TOP / 2))
+
+    def test_pes(self):
+        assert float(p_es_from_ps(np.array(1.0e5))) == pytest.approx(
+            1.0e5 - constants.P_TOP
+        )
+
+
+class TestRoundTrip:
+    def test_transform_inverse(self, rng):
+        nz, ny, nx = 5, 8, 12
+        sigma = SigmaLevels.uniform(nz)
+        ref = StandardAtmosphere()
+        u = rng.standard_normal((nz, ny, nx)) * 10
+        v = rng.standard_normal((nz, ny, nx)) * 10
+        t = 250.0 + rng.standard_normal((nz, ny, nx)) * 5
+        ps = 1.0e5 + rng.standard_normal((ny, nx)) * 500
+        U, V, Phi, psa = physical_to_transformed(u, v, t, ps, sigma.mid, ref)
+        u2, v2, t2, ps2 = transformed_to_physical(U, V, Phi, psa, sigma.mid, ref)
+        assert np.allclose(u2, u, atol=1e-10)
+        assert np.allclose(v2, v, atol=1e-10)
+        assert np.allclose(t2, t, atol=1e-9)
+        assert np.allclose(ps2, ps, atol=1e-8)
+
+    def test_standard_state_maps_to_zero(self):
+        """T = T~(local p), p_s = p~_s must give Phi = 0, p'_sa = 0."""
+        nz, ny, nx = 4, 6, 8
+        sigma = SigmaLevels.uniform(nz)
+        ref = StandardAtmosphere()
+        ps = np.full((ny, nx), ref.p_surface)
+        t = np.broadcast_to(
+            ref.temperature_at_sigma(sigma.mid, ps=ps), (nz, ny, nx)
+        ).copy()
+        U, V, Phi, psa = physical_to_transformed(
+            np.zeros((nz, ny, nx)), np.zeros((nz, ny, nx)), t, ps, sigma.mid, ref
+        )
+        assert np.allclose(Phi, 0.0, atol=1e-12)
+        assert np.allclose(psa, 0.0)
+
+    def test_wind_scaling(self):
+        """U = P u exactly."""
+        nz, ny, nx = 2, 4, 6
+        sigma = SigmaLevels.uniform(nz)
+        ref = StandardAtmosphere()
+        u = np.ones((nz, ny, nx)) * 7.0
+        ps = np.full((ny, nx), 1.0e5)
+        t = np.broadcast_to(
+            ref.temperature_at_sigma(sigma.mid, ps=ps), (nz, ny, nx)
+        ).copy()
+        U, *_ = physical_to_transformed(
+            u, np.zeros_like(u), t, ps, sigma.mid, ref
+        )
+        assert np.allclose(U, 7.0 * p_factor(ps)[None])

@@ -1,0 +1,101 @@
+"""The ModelState container."""
+import numpy as np
+import pytest
+
+from repro.state.variables import ModelState
+
+
+class TestConstruction:
+    def test_zeros(self):
+        s = ModelState.zeros((3, 4, 5))
+        assert s.U.shape == (3, 4, 5)
+        assert s.psa.shape == (4, 5)
+        assert s.max_abs() == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ModelState(
+                U=np.zeros((3, 4, 5)),
+                V=np.zeros((3, 4, 5)),
+                Phi=np.zeros((3, 4, 6)),
+                psa=np.zeros((4, 5)),
+            )
+        with pytest.raises(ValueError):
+            ModelState(
+                U=np.zeros((3, 4, 5)),
+                V=np.zeros((3, 4, 5)),
+                Phi=np.zeros((3, 4, 5)),
+                psa=np.zeros((4, 6)),
+            )
+
+    def test_random(self, rng):
+        s = ModelState.random((2, 3, 4), rng)
+        assert s.isfinite()
+        assert s.max_abs() > 0
+
+
+class TestArithmetic:
+    def test_add_sub(self, rng):
+        a = ModelState.random((2, 3, 4), rng)
+        b = ModelState.random((2, 3, 4), rng)
+        c = (a + b) - b
+        assert c.allclose(a, rtol=1e-14, atol=1e-14)
+
+    def test_scalar_mul(self, rng):
+        a = ModelState.random((2, 3, 4), rng)
+        assert (2.0 * a).allclose(a + a, rtol=1e-14, atol=1e-15)
+
+    def test_axpy_matches_expression(self, rng):
+        a = ModelState.random((2, 3, 4), rng)
+        b = ModelState.random((2, 3, 4), rng)
+        assert a.axpy(0.5, b).allclose(a + 0.5 * b, rtol=1e-15, atol=1e-15)
+
+    def test_axpy_inplace_mutates(self, rng):
+        a = ModelState.random((2, 3, 4), rng)
+        b = ModelState.random((2, 3, 4), rng)
+        expected = a + 0.25 * b
+        out = a.axpy_inplace(0.25, b)
+        assert out is a
+        assert a.allclose(expected, rtol=1e-15, atol=1e-15)
+
+    def test_midpoint(self, rng):
+        a = ModelState.random((2, 3, 4), rng)
+        b = ModelState.random((2, 3, 4), rng)
+        m = ModelState.midpoint(a, b)
+        assert m.allclose(0.5 * (a + b), rtol=1e-15, atol=1e-15)
+
+    def test_copy_is_deep(self, rng):
+        a = ModelState.random((2, 3, 4), rng)
+        c = a.copy()
+        c.U += 1.0
+        assert not a.allclose(c)
+
+
+class TestPacking:
+    def test_roundtrip(self, rng):
+        a = ModelState.random((3, 5, 7), rng)
+        buf = a.pack()
+        b = ModelState.unpack(buf, (3, 5, 7))
+        assert a.allclose(b, rtol=0, atol=0)
+
+    def test_unpack_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ModelState.unpack(np.zeros(10), (3, 5, 7))
+
+    def test_nbytes(self):
+        s = ModelState.zeros((2, 3, 4))
+        assert s.nbytes == 8 * (3 * 24 + 12)
+
+
+class TestMetrics:
+    def test_max_difference(self, rng):
+        a = ModelState.random((2, 3, 4), rng)
+        b = a.copy()
+        b.Phi[0, 0, 0] += 3.0
+        assert a.max_difference(b) == pytest.approx(3.0)
+
+    def test_isfinite_detects_nan(self, rng):
+        a = ModelState.random((2, 3, 4), rng)
+        assert a.isfinite()
+        a.V[1, 2, 3] = np.nan
+        assert not a.isfinite()

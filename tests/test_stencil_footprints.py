@@ -1,0 +1,158 @@
+"""Tables 1-3: measured operator footprints stay within the paper's.
+
+The paper gives the *declared* dependency extents of the IAP scheme; our
+discretization is not identical term-for-term (the exact IAP differences
+are not published), so the contract enforced here is containment: no
+operator may read farther than the paper's halo sizing assumes, which is
+what keeps the communication model conservative.  The smoothing operator
+is fully specified in the paper, so its footprint is matched exactly.
+"""
+import numpy as np
+import pytest
+
+from repro.constants import ModelParameters
+from repro.core.tendencies import TendencyEngine
+from repro.grid.latlon import LatLonGrid
+from repro.grid.sigma import SigmaLevels
+from repro.operators.footprint import probe_footprint
+from repro.operators.geometry import WorkingGeometry
+from repro.operators.smoothing import p1, p2
+from repro.operators.stencil_meta import (
+    ADAPTATION_RADII,
+    ADVECTION_RADII,
+    SMOOTHING_RADII,
+    TABLE1_ADAPTATION,
+    TABLE2_ADVECTION,
+    TABLE3_SMOOTHING,
+    max_radii,
+    render_table,
+)
+from repro.state.variables import ModelState
+
+
+@pytest.fixture(scope="module")
+def setup():
+    grid = LatLonGrid(nx=24, ny=16, nz=8)
+    sigma = SigmaLevels.uniform(grid.nz)
+    geom = WorkingGeometry.build_global(grid, sigma, gy=3, gz=0)
+    engine = TendencyEngine(geom, ModelParameters())
+    rng = np.random.default_rng(42)
+    base = ModelState.zeros(geom.shape3d)
+    nz_w, ny_w, nx = geom.shape3d
+    k, j, i = np.meshgrid(
+        np.arange(nz_w), np.arange(ny_w), np.arange(nx), indexing="ij"
+    )
+    smooth = 0.05 * np.sin(0.4 * i + 0.3 * j + 0.5 * k)
+    base.U[:] = 1.0 + smooth
+    base.V[:] = 0.5 + 0.5 * smooth
+    base.Phi[:] = 2.0 + smooth
+    base.psa[:] = 100.0 * smooth[0]
+    vd = engine.vertical(base)
+    return engine, base, vd
+
+
+def _probe(setup, in_field: str, out_field: str, evaluate) -> tuple:
+    """Measured footprint of d(out)/d(in) for one composed operator."""
+    engine, base, vd = setup
+    shape = engine.geom.shape3d
+
+    def op(arr):
+        state = base.copy()
+        if in_field == "psa":
+            state.psa[...] = arr[0]
+        else:
+            getattr(state, in_field)[...] = arr
+        out = evaluate(engine, state, vd)
+        target = getattr(out, out_field)
+        if target.ndim == 2:
+            return np.broadcast_to(target, shape).copy()
+        return target
+
+    if in_field == "psa":
+        nz_w = shape[0]
+
+        def op2(arr):
+            return op(arr)
+
+        fp = probe_footprint(op2, shape, probe_point=(0, shape[1] // 2, shape[2] // 2))
+        # 2-D input probed through level 0; z offsets are meaningless
+        return fp.radii[0], fp.radii[1], 0
+    fp = probe_footprint(op, shape)
+    return fp.radii
+
+
+def _eval_adaptation(engine, state, vd):
+    from repro.operators.adaptation import adaptation_tendency
+
+    return adaptation_tendency(state, vd, engine.geom, engine.params)
+
+
+def _eval_advection(engine, state, vd):
+    from repro.operators.advection import advection_tendency
+
+    return advection_tendency(state, vd, engine.geom)
+
+
+class TestDeclaredTables:
+    def test_table_maxima(self):
+        assert ADAPTATION_RADII == (3, 1, 1)
+        assert ADVECTION_RADII == (3, 1, 1)
+        assert SMOOTHING_RADII == (2, 2, 0)
+
+    def test_render_contains_terms(self):
+        text = render_table(TABLE1_ADAPTATION, "Table 1")
+        assert "P_lambda_1" in text and "D_sa" in text
+        assert "i-2" in text
+
+    def test_all_tables_have_entries(self):
+        assert len(TABLE1_ADAPTATION) == 11
+        assert len(TABLE2_ADVECTION) == 9
+        assert len(TABLE3_SMOOTHING) == 2
+
+
+class TestAdaptationFootprints:
+    @pytest.mark.parametrize("in_field", ["U", "V", "Phi", "psa"])
+    @pytest.mark.parametrize("out_field", ["U", "V", "Phi"])
+    def test_within_paper_extents(self, setup, in_field, out_field):
+        rx, ry, rz = _probe(setup, in_field, out_field, _eval_adaptation)
+        px, py, pz = ADAPTATION_RADII
+        assert rx <= px, f"x radius {rx} exceeds Table 1 max {px}"
+        assert ry <= py, f"y radius {ry} exceeds Table 1 max {py}"
+        assert rz <= pz, f"z radius {rz} exceeds Table 1 max {pz}"
+
+    def test_dsa_footprint(self, setup):
+        rx, ry, _ = _probe(setup, "psa", "psa", _eval_adaptation)
+        # Table 1's D_sa row: i, i+-1 / j, j+-1
+        assert rx <= 1 and ry <= 1
+
+
+class TestAdvectionFootprints:
+    @pytest.mark.parametrize("field", ["U", "V", "Phi"])
+    def test_self_advection_within_extents(self, setup, field):
+        rx, ry, rz = _probe(setup, field, field, _eval_advection)
+        px, py, pz = ADVECTION_RADII
+        assert rx <= px and ry <= py and rz <= pz
+
+    @pytest.mark.parametrize("field", ["U", "V"])
+    def test_wind_influence_on_tracer(self, setup, field):
+        rx, ry, rz = _probe(setup, field, "Phi", _eval_advection)
+        px, py, pz = ADVECTION_RADII
+        assert rx <= px and ry <= py and rz <= pz
+
+
+class TestSmoothingFootprints:
+    def test_p1_matches_table3_exactly(self):
+        shape = (4, 10, 12)
+        fp = probe_footprint(lambda a: p1(a, 0.1), shape)
+        entry = TABLE3_SMOOTHING[0]
+        assert set(fp.x) == set(entry.x)
+        assert set(fp.y) == set(entry.y)
+        assert set(fp.z) == set(entry.z)
+
+    def test_p2_matches_table3_exactly(self):
+        shape = (4, 12, 12)
+        fp = probe_footprint(lambda a: p2(a, 0.1), shape)
+        entry = TABLE3_SMOOTHING[1]
+        assert set(fp.x) == set(entry.x)
+        assert set(fp.y) == set(entry.y)
+        assert set(fp.z) == set(entry.z)
