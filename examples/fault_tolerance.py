@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Fault injection and checkpoint/restart recovery, end to end.
+
+Part 1 — resilience: run the communication-avoiding core with a fault
+plan that crashes rank 1 partway through the integration.  The resilient
+driver checkpoints after every chunk, detects the crash, rolls back to
+the last checkpoint and re-runs the chunk; the recovered run ends
+bit-identical to a fault-free run of the same chunked driver.
+
+Part 2 — perturbed schedules: run one step under a degraded-network
+window plus a straggler rank, with tracing on, and render the Gantt
+timeline next to the clean schedule.  The injected X marks and the
+stretched compute/wait spans show exactly where the perturbation landed.
+
+Usage::
+
+    python examples/fault_tolerance.py [--steps 4] [--nprocs 4]
+"""
+import argparse
+import tempfile
+
+from repro.constants import ModelParameters
+from repro.core.driver import DynamicalCore
+from repro.core.resilience import ResilienceConfig
+from repro.grid import Decomposition, LatLonGrid
+from repro.physics import perturbed_rest_state
+from repro.simmpi import (
+    CrashSpec,
+    DegradedWindow,
+    FaultPlan,
+    MachineModel,
+    Straggler,
+    run_spmd,
+)
+from repro.simmpi.trace import render_gantt
+
+#: communication-heavy machine so waits are visible in the Gantt chart
+COMM_HEAVY = MachineModel(
+    alpha=2.0e-5, beta=2.0e-9, gamma=1.0e-9, seconds_per_point=4.0e-10
+)
+
+
+def demo_recovery(args) -> None:
+    grid = LatLonGrid(nx=32, ny=16, nz=8)
+    params = ModelParameters(
+        dt_adaptation=60.0, dt_advection=60.0, m_iterations=1
+    )
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+    core = DynamicalCore(
+        grid, algorithm="ca", nprocs=args.nprocs, params=params
+    )
+
+    crash_chunk = max(2, args.steps // 2)
+    plan = FaultPlan(
+        seed=0,
+        crashes=(CrashSpec(rank=1, at_attempt=crash_chunk, at_call=5),),
+    )
+    print(f"== Part 1: crash rank 1 in chunk {crash_chunk} of {args.steps}, "
+          f"recover from checkpoint ==")
+    with tempfile.TemporaryDirectory() as dref, \
+            tempfile.TemporaryDirectory() as dcr:
+        ref, _, _ = core.run_resilient(
+            state0, args.steps,
+            ResilienceConfig(checkpoint_dir=dref, checkpoint_interval=1),
+        )
+        rec, diag, report = core.run_resilient(
+            state0, args.steps,
+            ResilienceConfig(
+                checkpoint_dir=dcr, checkpoint_interval=1, faults=plan
+            ),
+        )
+        print(report.describe())
+        for ev in report.fault_events:
+            print(f"  fault event: rank {ev.rank} {ev.kind} at t={ev.t:.3e} "
+                  f"(attempt {ev.attempt}) {ev.detail}")
+        diff = ref.max_difference(rec)
+        print(f"max |recovered - fault-free| = {diff:.3e}  "
+              f"({'bit-identical' if diff == 0.0 else 'DIVERGED'})")
+        print(f"total makespan over {len(report.chunk_makespans)} committed "
+              f"chunks: {diag.makespan:.3e} simulated s")
+
+
+def demo_perturbed_schedule(args) -> None:
+    from repro.core.comm_avoiding import ca_rank_program
+    from repro.core.distributed import DistributedConfig
+
+    grid = LatLonGrid(nx=32, ny=16, nz=8)
+    params = ModelParameters(
+        dt_adaptation=60.0, dt_advection=60.0, m_iterations=1
+    )
+    decomp = Decomposition(grid.nx, grid.ny, grid.nz, 1, 2, 2)
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+    dcfg = DistributedConfig(
+        grid=grid, decomp=decomp, params=params, sigma=None, nsteps=1
+    )
+
+    clean = run_spmd(
+        decomp.nranks, ca_rank_program, dcfg, state0,
+        machine=COMM_HEAVY, trace=True,
+    )
+    plan = FaultPlan(
+        seed=0,
+        degraded=(DegradedWindow(
+            t_start=0.0, t_end=clean.makespan, beta_factor=8.0,
+        ),),
+        stragglers=(Straggler(rank=2, slowdown=2.5),),
+    )
+    perturbed = run_spmd(
+        decomp.nranks, ca_rank_program, dcfg, state0,
+        machine=COMM_HEAVY, trace=True, faults=plan,
+    )
+    print("\n== Part 2: degraded network (beta x8) + straggler rank 2 ==")
+    print("clean schedule:")
+    print(render_gantt(clean.traces, width=args.width))
+    print("perturbed schedule (same time axis scale markers, X = fault):")
+    print(render_gantt(perturbed.traces, width=args.width))
+    slowdown = perturbed.makespan / clean.makespan
+    print(f"makespan: clean {clean.makespan:.3e} s -> perturbed "
+          f"{perturbed.makespan:.3e} s  ({slowdown:.2f}x slower)")
+    nevents = len(perturbed.fault_events())
+    print(f"fault events recorded across ranks: {nevents}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=4)
+    parser.add_argument("--nprocs", type=int, default=4)
+    parser.add_argument("--width", type=int, default=72)
+    args = parser.parse_args()
+    demo_recovery(args)
+    demo_perturbed_schedule(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -62,6 +62,30 @@ class StepDiagnostics:
         total = self.comm_time + self.compute_time
         return self.comm_time / total if total > 0 else 0.0
 
+    def accumulate(self, other: "StepDiagnostics") -> None:
+        """Add another run's counters in place (chunked/resilient runs)."""
+        self.makespan += other.makespan
+        self.compute_time += other.compute_time
+        self.stencil_comm_time += other.stencil_comm_time
+        self.collective_comm_time += other.collective_comm_time
+        self.p2p_messages += other.p2p_messages
+        self.p2p_bytes += other.p2p_bytes
+        self.collective_ops += other.collective_ops
+        self.synchronizations += other.synchronizations
+        self.c_calls += other.c_calls
+        self.exchanges += other.exchanges
+
+
+def default_spmd_timeout(nsteps: int) -> float:
+    """Wall-clock deadlock timeout scaled with the requested work.
+
+    ``run_spmd``'s default of 120 s is tuned for a handful of steps; long
+    integrations on loaded hosts can exceed it and be misdiagnosed as
+    deadlocks.  The driver therefore passes ``max(120, 5 * nsteps)``
+    seconds unless :attr:`CoreConfig.timeout` overrides it.
+    """
+    return max(120.0, 5.0 * float(nsteps))
+
 
 @dataclass
 class CoreConfig:
@@ -75,6 +99,8 @@ class CoreConfig:
     forcing: Callable | None = None
     machine: MachineModel = LAPTOP_LIKE
     decomp: Decomposition | None = None
+    #: wall-clock deadlock timeout for run_spmd; None → scale with nsteps
+    timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -114,6 +140,37 @@ class DynamicalCore:
         Returns the gathered global final state plus run diagnostics from
         the simulated cluster (zeros for the serial core).
         """
+        state, diag, _ = self._run_once(state0, nsteps)
+        return state, diag
+
+    def run_resilient(
+        self, state0: ModelState, nsteps: int, resilience
+    ) -> tuple[ModelState, StepDiagnostics, "object"]:
+        """Advance ``nsteps`` with checkpoint/restart fault tolerance.
+
+        ``resilience`` is a :class:`repro.core.resilience.ResilienceConfig`;
+        returns ``(final_state, accumulated_diagnostics, report)``.  See
+        :mod:`repro.core.resilience` for the recovery semantics.
+        """
+        from repro.core.resilience import run_resilient
+
+        return run_resilient(self, state0, nsteps, resilience)
+
+    def _run_once(
+        self,
+        state0: ModelState,
+        nsteps: int,
+        *,
+        faults=None,
+        verify_checksums: bool = False,
+        timeout: float | None = None,
+    ) -> tuple[ModelState, StepDiagnostics, list | None]:
+        """One uninterrupted run; raises on any injected/organic failure.
+
+        Returns ``(state, diagnostics, per_rank_stats_or_None)``; the
+        stats list (None for the serial core) lets the resilient driver
+        harvest fault events from successful chunks.
+        """
         cfg = self.config
         if cfg.algorithm == "serial":
             core = SerialCore(
@@ -124,7 +181,7 @@ class DynamicalCore:
             )
             out = core.run(state0, nsteps)
             diag = StepDiagnostics(c_calls=core.c_calls)
-            return out, diag
+            return out, diag, None
 
         decomp = cfg.resolve_decomposition()
         dcfg = DistributedConfig(
@@ -138,8 +195,21 @@ class DynamicalCore:
         program = (
             ca_rank_program if cfg.algorithm == "ca" else original_rank_program
         )
+        if timeout is None:
+            timeout = (
+                cfg.timeout
+                if cfg.timeout is not None
+                else default_spmd_timeout(nsteps)
+            )
         result = run_spmd(
-            decomp.nranks, program, dcfg, state0, machine=cfg.machine
+            decomp.nranks,
+            program,
+            dcfg,
+            state0,
+            machine=cfg.machine,
+            timeout=timeout,
+            faults=faults,
+            verify_checksums=verify_checksums,
         )
         blocks = [r.state for r in result.results]
         gathered = ModelState(
@@ -165,4 +235,4 @@ class DynamicalCore:
             c_calls=result.results[0].c_calls,
             exchanges=result.results[0].exchanges,
         )
-        return gathered, diag
+        return gathered, diag, result.stats

@@ -58,9 +58,14 @@ def _axis_slices(n_interior: int, g: int, d: int, side: str, w: int | None = Non
 
 @dataclass
 class PendingExchange:
-    """In-flight non-blocking halo exchange."""
+    """In-flight non-blocking halo exchange.
 
-    recv_reqs: list[tuple[Request, str, tuple[slice, ...]]]
+    ``recv_reqs`` entries are ``(request, field_index, slices, neighbour)``;
+    the neighbour rank is kept so unpack errors (e.g. a corrupted or
+    truncated payload) can name the offending link.
+    """
+
+    recv_reqs: list[tuple[Request, int, tuple[slice, ...], int]]
     send_reqs: list[Request]
 
 
@@ -145,7 +150,7 @@ class HaloExchanger:
                 slc = self._block_slices(key, arr.ndim, "recv", wy, wz, wx)
                 tag = self._tag(key, fi, receiver_view=True)
                 req = self.comm.irecv(nb, tag=tag)
-                recv_reqs.append((req, fi, slc))
+                recv_reqs.append((req, fi, slc, nb))
         for key, nb in self.neighbours.items():
             for fi, arr in enumerate(fields):
                 slc = self._block_slices(key, arr.ndim, "send", wy, wz, wx)
@@ -155,9 +160,15 @@ class HaloExchanger:
 
     def finish(self, pending: PendingExchange, fields: list[np.ndarray]) -> None:
         """Wait for all receives and unpack into the ghost zones."""
-        for req, fi, slc in pending.recv_reqs:
+        for req, fi, slc, nb in pending.recv_reqs:
             payload = req.wait()
             target = fields[fi][slc]
+            if payload.size != target.size:
+                raise ValueError(
+                    f"rank {self.comm.rank}: halo payload from neighbour "
+                    f"rank {nb} for field {fi} has {payload.size} elements, "
+                    f"expected {target.size} for ghost block {target.shape}"
+                )
             fields[fi][slc] = payload.reshape(target.shape)
         for req in pending.send_reqs:
             req.wait()

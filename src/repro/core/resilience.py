@@ -1,0 +1,332 @@
+"""Checkpoint/restart resilience for :class:`~repro.core.driver.DynamicalCore`.
+
+Long climate integrations survive node failures by periodically writing the
+gathered :class:`ModelState` to disk and, when a chunk of steps dies (rank
+crash, corrupted halo payload, deadlock), rolling back to the last committed
+checkpoint and re-running the chunk.  The recovery loop here mirrors that
+structure on the simulated cluster:
+
+* the run is divided into chunks of ``checkpoint_interval`` model steps;
+* each chunk executes through ``DynamicalCore._run_once`` (so every
+  algorithm variant, serial included, gets the same resilience surface);
+* a chunk that raises a *retryable* failure — ``RankCrash``,
+  ``CorruptedMessage``, ``DeadlockError``, or any ``SpmdError`` carrying
+  one of these — triggers reload of the last checkpoint **from disk** and
+  a retry with exponential backoff;
+* a chunk that completes but produces non-finite or exploding fields is
+  handled by ``blowup_policy``: ``"abort"`` raises :class:`BlowupError`,
+  ``"rollback"`` rewinds to the last checkpoint and retries (with a fresh
+  fault-injection attempt, so transient corruption does not recur);
+* committed chunks append a checkpoint; ``max_restarts`` bounds the total
+  number of recoveries before :class:`ResilienceExhausted` gives up.
+
+Determinism: because the simulated cluster advances logical clocks only,
+a restart replays the chunk bit-identically when no new faults fire —
+the property tests assert crash-interrupted runs end byte-equal to
+fault-free ones.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.driver import StepDiagnostics
+from repro.simmpi.faults import (
+    CorruptedMessage,
+    FaultInjector,
+    FaultPlan,
+    RankCrash,
+)
+from repro.simmpi.launcher import SpmdError
+from repro.simmpi.network import DeadlockError
+from repro.state.io import (
+    checkpoint_path,
+    latest_checkpoint,
+    load_state,
+    save_state,
+)
+from repro.state.variables import ModelState
+
+
+class BlowupError(RuntimeError):
+    """The model produced non-finite or exploding fields (policy: abort)."""
+
+
+class ResilienceExhausted(RuntimeError):
+    """More recoveries were needed than ``max_restarts`` allows."""
+
+
+@dataclass
+class ResilienceConfig:
+    """Knobs of the resilient driver.
+
+    Parameters
+    ----------
+    checkpoint_dir:
+        Directory for ``ckpt_XXXXXXXX.npz`` files (created if missing).
+    checkpoint_interval:
+        Model steps per chunk; a checkpoint is written after every
+        committed chunk.
+    max_restarts:
+        Total recoveries (of any kind) before giving up.
+    backoff_base / backoff_factor / backoff_max:
+        Wall-clock sleep before retry ``k`` is
+        ``min(backoff_base * backoff_factor**(k-1), backoff_max)``
+        seconds; the default base of 0 disables sleeping (the simulated
+        cluster needs no settle time, real deployments do).
+    blowup_policy:
+        ``"abort"`` or ``"rollback"`` — what to do when a chunk completes
+        with non-finite fields or ``max_abs() > blowup_threshold``.
+    blowup_threshold:
+        Stability bound on the committed state's max absolute value.
+    verify_halo_checksums:
+        Arm payload checksums on every simulated message, so in-flight
+        corruption of wide-halo exchanges surfaces as
+        ``CorruptedMessage`` instead of silently polluting the fields.
+    faults:
+        Optional :class:`FaultPlan`/:class:`FaultInjector` injected into
+        every chunk.  A plan is converted to ONE injector up front, so
+        one-shot crash specs stay consumed across restarts (the "failed
+        node got replaced" model) and the retry can succeed.
+    spmd_timeout:
+        Override for the per-chunk deadlock timeout; ``None`` defers to
+        ``CoreConfig.timeout`` / ``default_spmd_timeout``.
+    resume:
+        Start from the newest checkpoint already in ``checkpoint_dir``
+        instead of ``state0`` (restart-after-process-death).
+    """
+
+    checkpoint_dir: str | Path
+    checkpoint_interval: int = 1
+    max_restarts: int = 8
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    blowup_policy: str = "rollback"
+    blowup_threshold: float = 1e8
+    verify_halo_checksums: bool = False
+    faults: FaultPlan | FaultInjector | None = None
+    spmd_timeout: float | None = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.blowup_policy not in ("abort", "rollback"):
+            raise ValueError(
+                f"blowup_policy must be 'abort' or 'rollback', "
+                f"got {self.blowup_policy!r}"
+            )
+
+
+@dataclass(frozen=True)
+class RestartRecord:
+    """One recovery event of the resilient driver."""
+
+    step: int          # model step the run was rewound to
+    kind: str          # "crash" | "corruption" | "deadlock" | "blowup"
+    attempt: int       # retry count for the failing chunk (1-based)
+    detail: str = ""
+
+
+@dataclass
+class ResilienceReport:
+    """What happened during one resilient run."""
+
+    checkpoints: list[tuple[int, Path]] = field(default_factory=list)
+    restarts: list[RestartRecord] = field(default_factory=list)
+    chunk_makespans: list[float] = field(default_factory=list)
+    fault_events: list = field(default_factory=list)
+    resumed_from_step: int = 0
+
+    @property
+    def nrestarts(self) -> int:
+        return len(self.restarts)
+
+    def describe(self) -> str:
+        lines = [
+            f"chunks committed: {len(self.chunk_makespans)}",
+            f"checkpoints written: {len(self.checkpoints)}",
+            f"restarts: {self.nrestarts}",
+        ]
+        for r in self.restarts:
+            lines.append(
+                f"  rewound to step {r.step} ({r.kind}, attempt "
+                f"{r.attempt}): {r.detail}"
+            )
+        if self.fault_events:
+            lines.append(f"fault events observed: {len(self.fault_events)}")
+        return "\n".join(lines)
+
+
+def _classify(exc: BaseException) -> str | None:
+    """Retryable-failure kind of one exception, or None if fatal."""
+    if isinstance(exc, RankCrash):
+        return "crash"
+    if isinstance(exc, CorruptedMessage):
+        return "corruption"
+    if isinstance(exc, DeadlockError):
+        return "deadlock"
+    if isinstance(exc, FloatingPointError):
+        return "blowup"
+    return None
+
+
+def classify_failure(exc: BaseException) -> str | None:
+    """Map an exception from a chunk run to a recovery kind.
+
+    For an :class:`SpmdError` the *root cause* wins: a rank crash aborts
+    every surviving rank with a ``DeadlockError``, so crash outranks
+    corruption outranks deadlock when classifying the per-rank
+    exceptions.  Returns ``None`` for failures that should propagate
+    (programming errors, bad configuration, ...).
+    """
+    if isinstance(exc, SpmdError):
+        kinds = {
+            k
+            for k in map(_classify, exc.exceptions.values())
+            if k is not None
+        }
+        for kind in ("crash", "corruption", "blowup", "deadlock"):
+            if kind in kinds:
+                return kind
+        return None
+    return _classify(exc)
+
+
+def run_resilient(
+    core,
+    state0: ModelState,
+    nsteps: int,
+    rcfg: ResilienceConfig,
+) -> tuple[ModelState, StepDiagnostics, ResilienceReport]:
+    """Advance ``nsteps`` with checkpointing and restart-on-failure.
+
+    ``core`` is a :class:`~repro.core.driver.DynamicalCore`.  Returns the
+    final gathered state, diagnostics accumulated over committed chunks
+    (retried chunks count only their successful attempt), and the
+    :class:`ResilienceReport`.
+    """
+    ckdir = Path(rcfg.checkpoint_dir)
+    ckdir.mkdir(parents=True, exist_ok=True)
+    report = ResilienceReport()
+    diag = StepDiagnostics()
+
+    injector = (
+        rcfg.faults.injector()
+        if isinstance(rcfg.faults, FaultPlan)
+        else rcfg.faults
+    )
+
+    step = 0
+    state = state0
+    resumed = False
+    if rcfg.resume:
+        found = latest_checkpoint(ckdir)
+        if found is not None:
+            state, step = load_state(found[0])
+            report.resumed_from_step = step
+            resumed = True
+    if not resumed:
+        path = checkpoint_path(ckdir, 0)
+        save_state(path, state0, step=0)
+        report.checkpoints.append((0, path))
+
+    restarts_left = rcfg.max_restarts
+    chunk_attempt = 1
+
+    def _recover(kind: str, detail: str) -> ModelState:
+        nonlocal restarts_left, chunk_attempt
+        if restarts_left <= 0:
+            raise ResilienceExhausted(
+                f"gave up at step {step} after {rcfg.max_restarts} "
+                f"restarts (last failure: {kind}: {detail})"
+            )
+        restarts_left -= 1
+        report.restarts.append(
+            RestartRecord(step=step, kind=kind, attempt=chunk_attempt,
+                          detail=detail)
+        )
+        if rcfg.backoff_base > 0.0:
+            delay = min(
+                rcfg.backoff_base * rcfg.backoff_factor ** (chunk_attempt - 1),
+                rcfg.backoff_max,
+            )
+            time.sleep(delay)
+        chunk_attempt += 1
+        # Reload from disk on purpose: recovery must exercise the same
+        # path a process restarted from scratch would take.
+        found = latest_checkpoint(ckdir)
+        if found is None:
+            raise ResilienceExhausted(
+                f"no checkpoint to roll back to in {ckdir}"
+            )
+        restored, saved_step = load_state(found[0])
+        if saved_step != step:
+            raise ResilienceExhausted(
+                f"latest checkpoint is for step {saved_step}, "
+                f"expected step {step} — checkpoint directory corrupted?"
+            )
+        return restored
+
+    while step < nsteps:
+        chunk = min(rcfg.checkpoint_interval, nsteps - step)
+        try:
+            new_state, chunk_diag, stats = core._run_once(
+                state,
+                chunk,
+                faults=injector,
+                verify_checksums=rcfg.verify_halo_checksums,
+                timeout=rcfg.spmd_timeout,
+            )
+        except (SpmdError, RankCrash, CorruptedMessage, DeadlockError,
+                FloatingPointError) as exc:
+            kind = classify_failure(exc)
+            if kind is None:
+                raise
+            if isinstance(exc, SpmdError) and exc.stats:
+                report.fault_events.extend(
+                    e for s in exc.stats for e in s.fault_events
+                )
+            if kind == "blowup" and rcfg.blowup_policy == "abort":
+                raise BlowupError(
+                    f"model blew up in chunk starting at step {step}: {exc}"
+                ) from exc
+            state = _recover(kind, str(exc).splitlines()[0])
+            continue
+
+        if stats is not None:
+            report.fault_events.extend(
+                e for s in stats for e in s.fault_events
+            )
+
+        if (
+            not new_state.isfinite()
+            or new_state.max_abs() > rcfg.blowup_threshold
+        ):
+            detail = (
+                "non-finite fields"
+                if not new_state.isfinite()
+                else f"max |field| = {new_state.max_abs():.3e} "
+                     f"> {rcfg.blowup_threshold:.3e}"
+            )
+            if rcfg.blowup_policy == "abort":
+                raise BlowupError(
+                    f"model blew up in chunk starting at step {step}: "
+                    f"{detail}"
+                )
+            state = _recover("blowup", detail)
+            continue
+
+        # Commit the chunk.
+        step += chunk
+        state = new_state
+        diag.accumulate(chunk_diag)
+        report.chunk_makespans.append(chunk_diag.makespan)
+        path = checkpoint_path(ckdir, step)
+        save_state(path, state, step=step)
+        report.checkpoints.append((step, path))
+        chunk_attempt = 1
+
+    return state, diag, report

@@ -24,6 +24,17 @@ Public API
 from repro.simmpi.machine import MachineModel, TIANHE2_LIKE, LAPTOP_LIKE
 from repro.simmpi.stats import CommStats
 from repro.simmpi.network import DeadlockError, Message
+from repro.simmpi.faults import (
+    CorruptedMessage,
+    CrashSpec,
+    DegradedWindow,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    RankCrash,
+    Straggler,
+)
 from repro.simmpi.comm import SimComm, Request
 from repro.simmpi.launcher import run_spmd, SpmdResult, SpmdError
 
@@ -39,4 +50,13 @@ __all__ = [
     "CommStats",
     "DeadlockError",
     "Message",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultEvent",
+    "CrashSpec",
+    "LinkFault",
+    "DegradedWindow",
+    "Straggler",
+    "RankCrash",
+    "CorruptedMessage",
 ]

@@ -16,7 +16,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.simmpi.machine import MachineModel
-from repro.simmpi.network import DeadlockError
+from repro.simmpi.network import AbortFlag, DeadlockError
 
 
 class _Slot:
@@ -26,6 +26,7 @@ class _Slot:
         self.size = size
         self.contributions: dict[int, Any] = {}
         self.clocks: dict[int, float] = {}
+        self.durations: dict[int, float] = {}
         self.result: Any = None
         self.t_end: float = 0.0
         self.done = False
@@ -35,11 +36,22 @@ class _Slot:
 class GroupContext:
     """Shared rendezvous state of one sub-communicator."""
 
-    def __init__(self, ranks: tuple[int, ...]) -> None:
+    def __init__(
+        self, ranks: tuple[int, ...], abort: AbortFlag | None = None
+    ) -> None:
         self.ranks = ranks
         self.size = len(ranks)
         self._slots: dict[int, _Slot] = {}
         self._lock = threading.Lock()
+        self._abort = abort
+
+    def wake_all(self) -> None:
+        """Wake every blocked member (launcher fail-fast abort)."""
+        with self._lock:
+            slots = list(self._slots.values())
+        for slot in slots:
+            with slot.cond:
+                slot.cond.notify_all()
 
     def _slot(self, generation: int) -> _Slot:
         with self._lock:
@@ -61,22 +73,28 @@ class GroupContext:
         clock: float,
         contribution: Any,
         combine: Callable[[dict[int, Any]], Any],
-        duration: Callable[[], float],
+        duration: float,
         timeout: float,
     ) -> tuple[Any, float]:
         """Join the collective; returns ``(combined_result, t_end)``.
 
         ``combine`` maps {rank: contribution} to the common result;
-        ``duration`` gives the modelled collective cost, added to the max
-        of the participants' arrival clocks.
+        ``duration`` is this member's view of the modelled collective
+        cost; the max over members' views is added to the max of their
+        arrival clocks (so per-rank cost estimates and fault-injected
+        degradation factors resolve deterministically, independent of
+        which thread happens to arrive last).
         """
         slot = self._slot(generation)
         with slot.cond:
             slot.contributions[rank] = contribution
             slot.clocks[rank] = clock
+            slot.durations[rank] = duration
             if len(slot.contributions) == slot.size:
                 slot.result = combine(slot.contributions)
-                slot.t_end = max(slot.clocks.values()) + duration()
+                slot.t_end = max(slot.clocks.values()) + max(
+                    slot.durations.values()
+                )
                 slot.done = True
                 slot.cond.notify_all()
             else:
@@ -84,12 +102,21 @@ class GroupContext:
 
                 deadline = time.monotonic() + timeout
                 while not slot.done:
+                    if self._abort is not None and self._abort.is_set():
+                        raise DeadlockError(
+                            f"rank {rank}: collective gen={generation} on "
+                            f"group {self.ranks} aborted — "
+                            f"{self._abort.reason}"
+                        )
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
+                        arrived = sorted(slot.contributions)
+                        missing = sorted(set(self.ranks) - set(arrived))
                         raise DeadlockError(
                             f"rank {rank}: collective gen={generation} on group "
-                            f"{self.ranks} timed out "
-                            f"({len(slot.contributions)}/{slot.size} arrived)"
+                            f"{self.ranks} timed out after {timeout}s "
+                            f"({len(arrived)}/{slot.size} arrived: "
+                            f"ranks {arrived} present, ranks {missing} missing)"
                         )
                     slot.cond.wait(remaining)
             result, t_end = slot.result, slot.t_end

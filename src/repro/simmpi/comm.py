@@ -19,8 +19,9 @@ from repro.simmpi.collectives import (
     collective_cost,
     combine_gather,
 )
+from repro.simmpi.faults import CorruptedMessage, FaultInjector, RankCrash
 from repro.simmpi.machine import MachineModel
-from repro.simmpi.network import Mailbox, Message
+from repro.simmpi.network import AbortFlag, Mailbox, Message, payload_checksum
 from repro.simmpi.stats import CommStats
 
 
@@ -28,14 +29,22 @@ class SimWorld:
     """Shared state of one simulated cluster run."""
 
     def __init__(
-        self, nranks: int, machine: MachineModel, timeout: float = 120.0
+        self,
+        nranks: int,
+        machine: MachineModel,
+        timeout: float = 120.0,
+        injector: FaultInjector | None = None,
+        verify_checksums: bool = False,
     ) -> None:
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
         self.nranks = nranks
         self.machine = machine
         self.timeout = timeout
-        self.mailboxes = [Mailbox(r) for r in range(nranks)]
+        self.injector = injector
+        self.verify_checksums = verify_checksums
+        self.abort_flag = AbortFlag()
+        self.mailboxes = [Mailbox(r, abort=self.abort_flag) for r in range(nranks)]
         self._groups: dict[tuple[int, ...], GroupContext] = {}
         self._groups_lock = threading.Lock()
 
@@ -44,9 +53,19 @@ class SimWorld:
         with self._groups_lock:
             ctx = self._groups.get(ranks)
             if ctx is None:
-                ctx = GroupContext(ranks)
+                ctx = GroupContext(ranks, abort=self.abort_flag)
                 self._groups[ranks] = ctx
             return ctx
+
+    def abort(self, reason: str) -> None:
+        """Fail fast: wake every blocked receive/collective with ``reason``."""
+        self.abort_flag.set(reason)
+        for mb in self.mailboxes:
+            mb.wake()
+        with self._groups_lock:
+            groups = list(self._groups.values())
+        for ctx in groups:
+            ctx.wake_all()
 
 
 class Request:
@@ -72,13 +91,31 @@ class Request:
         self._payload: np.ndarray | None = None
 
     def wait(self) -> np.ndarray | None:
-        """Complete the operation; returns the payload for irecv."""
+        """Complete the operation; returns the payload for irecv.
+
+        Raises :class:`~repro.simmpi.faults.CorruptedMessage` when
+        integrity checking is on and the payload fails its checksum.
+        """
         if self._done:
             return self._payload
+        self._comm._fault_hook()
         msg = self._comm._world.mailboxes[self._comm.rank].collect(
             self._source, self._tag, self._comm._world.timeout
         )
         comm = self._comm
+        if msg.checksum is not None and payload_checksum(msg.payload) != msg.checksum:
+            from repro.simmpi.faults import FaultEvent
+
+            comm._record_fault(FaultEvent(
+                comm.rank, "corruption-detected", comm.clock,
+                comm._injector.attempt if comm._injector else 1,
+                f"message from rank {self._source} tag {self._tag}",
+            ))
+            raise CorruptedMessage(
+                f"rank {comm.rank}: payload of message from rank "
+                f"{self._source} (tag {self._tag}) failed its checksum — "
+                "corrupted in flight"
+            )
         t0 = comm.clock
         waited = max(0.0, msg.arrival - comm.clock)
         if waited > 0.0:
@@ -111,7 +148,32 @@ class SimComm:
         self.stats = CommStats()
         self._generations: dict[tuple[int, ...], int] = {}
         self._phase: str | None = None
+        self._injector = world.injector
+        self._comm_calls = 0
         self.tracer = None  # TraceRecorder, attached by the launcher
+
+    # ---- fault plumbing ---------------------------------------------------
+    def _record_fault(self, event) -> None:
+        """Log one injected/detected fault into stats (and the trace)."""
+        self.stats.fault_events.append(event)
+        self.stats.faults_injected += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                "fault", event.t, event.t, detail=f"{event.kind}: {event.detail}"
+            )
+
+    def _fault_hook(self, count: bool = True) -> None:
+        """Consult the injector before a communication operation; raises
+        :class:`~repro.simmpi.faults.RankCrash` when a crash spec fires."""
+        inj = self._injector
+        if inj is None:
+            return
+        if count:
+            self._comm_calls += 1
+        event = inj.check_crash(self.rank, self.clock, self._comm_calls)
+        if event is not None:
+            self._record_fault(event)
+            raise RankCrash(self.rank, event.detail)
 
     # ---- phases -----------------------------------------------------------
     def set_phase(self, phase: str | None) -> None:
@@ -124,9 +186,19 @@ class SimComm:
 
     # ---- compute ------------------------------------------------------------
     def compute(self, seconds: float, phase: str | None = None) -> None:
-        """Advance the logical clock by ``seconds`` of local computation."""
+        """Advance the logical clock by ``seconds`` of local computation.
+
+        An active straggler fault silently inflates ``seconds`` by its
+        slowdown factor — the degraded-clock failure mode.
+        """
         if seconds < 0:
             raise ValueError("compute time must be non-negative")
+        self._fault_hook(count=False)
+        if self._injector is not None:
+            factor, events = self._injector.on_compute(self.rank, self.clock)
+            for ev in events:
+                self._record_fault(ev)
+            seconds *= factor
         t0 = self.clock
         self.clock += seconds
         self.stats.compute_time += seconds
@@ -142,16 +214,39 @@ class SimComm:
 
     def send(self, dest: int, array: np.ndarray, tag: int = 0) -> None:
         """Buffered send: the sender pays only the overhead ``alpha``."""
+        self._fault_hook()
         payload = self._as_payload(array)
-        arrival = self.clock + self.machine.p2p_time(payload.nbytes)
-        self.clock += self.machine.alpha
-        self.stats.p2p_time += self.machine.alpha
+        alpha_f = beta_f = 1.0
+        action = "deliver"
+        if self._injector is not None:
+            action, corrupt_mode, alpha_f, beta_f, events = (
+                self._injector.on_send(
+                    self.rank, dest, payload.nbytes, self.clock
+                )
+            )
+            for ev in events:
+                self._record_fault(ev)
+        checksum = (
+            payload_checksum(payload) if self._world.verify_checksums else None
+        )
+        if action == "corrupt":
+            # checksum was taken first, so integrity checking catches this
+            self._injector.corrupt_payload(payload, self.rank, corrupt_mode)
+        arrival = self.clock + (
+            alpha_f * self.machine.alpha
+            + beta_f * self.machine.beta * payload.nbytes
+        )
+        overhead = alpha_f * self.machine.alpha
+        self.clock += overhead
+        self.stats.p2p_time += overhead
         self.stats.p2p_messages_sent += 1
         self.stats.p2p_bytes_sent += payload.nbytes
         if self._phase is not None:
-            self.stats.add_tagged(self._phase, self.machine.alpha)
+            self.stats.add_tagged(self._phase, overhead)
+        if action == "drop":
+            return  # the sender is oblivious; the receiver never sees it
         self._world.mailboxes[dest].deliver(
-            Message(self.rank, dest, tag, payload, arrival)
+            Message(self.rank, dest, tag, payload, arrival, checksum)
         )
 
     def isend(self, dest: int, array: np.ndarray, tag: int = 0) -> Request:
@@ -233,12 +328,20 @@ class SubComm:
         combine,
     ) -> Any:
         comm = self._comm
+        comm._fault_hook()
         if self.size == 1:
             return combine({comm.rank: contribution})
         ctx = comm._world.group(self.ranks)
         duration, bytes_moved = collective_cost(
             comm.machine, op, self.size, nbytes
         )
+        if comm._injector is not None:
+            factor, events = comm._injector.collective_factor(
+                comm.rank, comm.clock
+            )
+            for ev in events:
+                comm._record_fault(ev)
+            duration *= factor
         gen = self._next_generation()
         t_before = comm.clock
         result, t_end = ctx.execute(
@@ -247,7 +350,7 @@ class SubComm:
             comm.clock,
             contribution,
             combine,
-            lambda: duration,
+            duration,
             comm._world.timeout,
         )
         comm.clock = max(comm.clock, t_end)

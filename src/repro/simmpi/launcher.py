@@ -2,8 +2,15 @@
 
 ``run_spmd(nranks, fn, *args)`` starts one thread per rank, each with its
 own :class:`SimComm`, and collects the per-rank return values, statistics
-and final logical clocks.  Exceptions on any rank abort the run and are
-re-raised on the caller with rank attribution.
+and final logical clocks.  Exceptions on any rank abort the run promptly
+— the world's abort flag wakes every blocked receive and collective — and
+are re-raised on the caller with rank attribution.
+
+Fault injection: pass ``faults=FaultPlan(...)`` (or a reusable
+:class:`~repro.simmpi.faults.FaultInjector`) to have the communicators
+inject rank crashes, message drops/corruption, degraded-network windows
+and compute stragglers; ``verify_checksums=True`` arms the in-flight
+payload integrity check (:class:`~repro.simmpi.faults.CorruptedMessage`).
 """
 from __future__ import annotations
 
@@ -13,19 +20,51 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.simmpi.comm import SimComm, SimWorld
+from repro.simmpi.faults import FaultInjector, FaultPlan
 from repro.simmpi.machine import LAPTOP_LIKE, MachineModel
+from repro.simmpi.network import DeadlockError
 from repro.simmpi.stats import CommStats
 from repro.simmpi.trace import TraceRecorder
 
 
 class SpmdError(RuntimeError):
-    """One or more ranks raised; carries the per-rank tracebacks."""
+    """One or more ranks raised; carries the per-rank tracebacks.
 
-    def __init__(self, failures: dict[int, str]) -> None:
+    Attributes
+    ----------
+    failures:
+        ``{rank: traceback string}`` of every failed rank.
+    exceptions:
+        ``{rank: exception object}`` (same keys) — lets callers classify
+        failures by type (``RankCrash``, ``CorruptedMessage``,
+        ``DeadlockError``, ...) without string matching.
+    stats:
+        Per-rank :class:`CommStats` captured at failure time (fault
+        events of the doomed attempt survive here), or ``None``.
+    """
+
+    def __init__(
+        self,
+        failures: dict[int, str],
+        exceptions: dict[int, BaseException] | None = None,
+        stats: list[CommStats] | None = None,
+    ) -> None:
         self.failures = failures
+        self.exceptions = exceptions or {}
+        self.stats = stats
         ranks = ", ".join(str(r) for r in sorted(failures))
+        lines = [f"SPMD ranks [{ranks}] failed:"]
+        for r in sorted(failures):
+            exc = self.exceptions.get(r)
+            if exc is not None:
+                summary = f"{type(exc).__name__}: {exc}"
+            else:
+                tb_lines = failures[r].strip().splitlines()
+                summary = tb_lines[-1] if tb_lines else "unknown failure"
+            lines.append(f"  rank {r}: {summary}")
         first = failures[min(failures)]
-        super().__init__(f"SPMD ranks [{ranks}] failed; rank traceback:\n{first}")
+        lines.append(f"first failing rank traceback:\n{first}")
+        super().__init__("\n".join(lines))
 
 
 @dataclass
@@ -58,6 +97,10 @@ class SpmdResult:
         """Max over ranks of compute logical time."""
         return max(s.compute_time for s in self.stats)
 
+    def fault_events(self) -> list:
+        """All fault events of all ranks, in rank order."""
+        return [e for s in self.stats for e in s.fault_events]
+
 
 def run_spmd(
     nranks: int,
@@ -66,6 +109,8 @@ def run_spmd(
     machine: MachineModel | None = None,
     timeout: float = 120.0,
     trace: bool = False,
+    faults: FaultPlan | FaultInjector | None = None,
+    verify_checksums: bool = False,
 ) -> SpmdResult:
     """Run ``fn(comm, *args)`` on ``nranks`` simulated ranks.
 
@@ -79,12 +124,30 @@ def run_spmd(
         Cost model; defaults to :data:`repro.simmpi.machine.LAPTOP_LIKE`.
     timeout:
         Wall-clock seconds after which a blocked receive or collective is
-        declared a deadlock.
+        declared a deadlock.  Callers running many model steps should
+        scale this with the work (see ``repro.core.driver``, which does).
     trace:
         Record per-rank :class:`TraceRecorder` timelines (compute spans,
-        receive waits, collectives) in the result.
+        receive waits, collectives, fault events) in the result.
+    faults:
+        Declarative :class:`FaultPlan` (deterministic under its seed), or
+        a live :class:`FaultInjector` when the caller wants one-shot
+        crash state to persist across restart attempts.
+    verify_checksums:
+        Checksum every point-to-point payload at the sender and verify on
+        receive; in-flight corruption then raises ``CorruptedMessage``
+        instead of silently contaminating the receiver.
     """
-    world = SimWorld(nranks, machine or LAPTOP_LIKE, timeout=timeout)
+    injector = faults.injector() if isinstance(faults, FaultPlan) else faults
+    if injector is not None:
+        injector.begin_attempt()
+    world = SimWorld(
+        nranks,
+        machine or LAPTOP_LIKE,
+        timeout=timeout,
+        injector=injector,
+        verify_checksums=verify_checksums,
+    )
     comms = [SimComm(world, r) for r in range(nranks)]
     tracers: list[TraceRecorder] | None = None
     if trace:
@@ -93,14 +156,18 @@ def run_spmd(
             c.tracer = t
     results: list[Any] = [None] * nranks
     failures: dict[int, str] = {}
+    exceptions: dict[int, BaseException] = {}
     failures_lock = threading.Lock()
 
     def runner(rank: int) -> None:
         try:
             results[rank] = fn(comms[rank], *args)
-        except BaseException:  # noqa: BLE001 - report everything to caller
+        except BaseException as exc:  # noqa: BLE001 - report everything to caller
             with failures_lock:
                 failures[rank] = traceback.format_exc()
+                exceptions[rank] = exc
+            # fail fast: wake the surviving ranks out of blocked waits
+            world.abort(f"rank {rank} failed with {type(exc).__name__}: {exc}")
 
     if nranks == 1:
         # Fast path: no threads for serial runs.
@@ -116,9 +183,22 @@ def run_spmd(
             t.join(timeout=timeout + 30.0)
         hung = [t.name for t in threads if t.is_alive()]
         if hung and not failures:
-            raise SpmdError({-1: f"rank threads still alive: {hung}"})
+            backlog = {
+                r: world.mailboxes[r].pending_summary() for r in range(nranks)
+            }
+            detail = (
+                f"rank threads still alive: {hung}; "
+                f"per-rank mailbox backlog: {backlog}"
+            )
+            raise SpmdError(
+                {-1: detail},
+                exceptions={-1: DeadlockError(detail)},
+                stats=[c.stats for c in comms],
+            )
     if failures:
-        raise SpmdError(failures)
+        raise SpmdError(
+            failures, exceptions=exceptions, stats=[c.stats for c in comms]
+        )
     return SpmdResult(
         results=results,
         stats=[c.stats for c in comms],

@@ -32,6 +32,14 @@ class CommStats:
       overhead + receiver waiting).
     * ``collective_time`` — time spent inside collectives, including
       waiting for stragglers.
+
+    Fault accounting
+    ----------------
+    * ``faults_injected`` — number of fault events observed by this rank
+      (injected crashes/drops/corruptions/degradations plus detected
+      checksum failures).
+    * ``fault_events`` — the :class:`~repro.simmpi.faults.FaultEvent`
+      records themselves, in occurrence order.
     """
 
     p2p_messages_sent: int = 0
@@ -41,11 +49,14 @@ class CommStats:
     collective_ops: int = 0
     collective_bytes: int = 0
     synchronizations: int = 0
+    faults_injected: int = 0
     compute_time: float = 0.0
     p2p_time: float = 0.0
     collective_time: float = 0.0
     #: free-form buckets: algorithms tag phases ("stencil", "fourier", ...)
     tagged_time: dict = field(default_factory=dict)
+    #: fault events observed by this rank, in order
+    fault_events: list = field(default_factory=list)
 
     @property
     def comm_time(self) -> float:
@@ -69,6 +80,7 @@ class CommStats:
             "p2p_messages_sent", "p2p_messages_received",
             "p2p_bytes_sent", "p2p_bytes_received",
             "collective_ops", "collective_bytes", "synchronizations",
+            "faults_injected",
         ):
             setattr(out, f, max(getattr(s, f) for s in allstats))
         for f in ("compute_time", "p2p_time", "collective_time"):
@@ -79,4 +91,5 @@ class CommStats:
         out.tagged_time = {
             k: max(s.tagged_time.get(k, 0.0) for s in allstats) for k in keys
         }
+        out.fault_events = [e for s in allstats for e in s.fault_events]
         return out

@@ -75,8 +75,9 @@ def render_gantt(
     """Plain-text timeline: one row per rank.
 
     Symbols: ``#`` compute, ``~`` waiting on a receive, ``=`` collective,
-    ``-`` idle/other.  Resolution is ``t_max / width``; overlapping kinds
-    in one cell resolve by precedence compute > collective > wait.
+    ``X`` an injected/detected fault event, ``-`` idle/other.  Resolution
+    is ``t_max / width``; overlapping kinds in one cell resolve by
+    precedence fault > compute > collective > wait.
     """
     if t_max is None:
         t_max = max(
@@ -84,8 +85,11 @@ def render_gantt(
         )
     if t_max <= 0:
         return "(empty trace)"
-    symbols = {"compute": "#", "collective": "=", "recv_wait": "~", "send": "s"}
-    precedence = {"#": 3, "=": 2, "~": 1, "s": 1, "-": 0}
+    symbols = {
+        "compute": "#", "collective": "=", "recv_wait": "~", "send": "s",
+        "fault": "X",
+    }
+    precedence = {"X": 4, "#": 3, "=": 2, "~": 1, "s": 1, "-": 0}
     lines = []
     for rec in recorders:
         row = ["-"] * width
@@ -98,7 +102,7 @@ def render_gantt(
                     row[i] = sym
         lines.append(f"rank {rec.rank:>3} |{''.join(row)}|")
     lines.append(
-        f"legend: # compute   = collective   ~ recv wait   "
+        f"legend: # compute   = collective   ~ recv wait   X fault   "
         f"(span {t_max:.3e} s)"
     )
     return "\n".join(lines)

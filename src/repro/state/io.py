@@ -29,6 +29,31 @@ def save_state(path: str | Path, state: ModelState, step: int = 0) -> None:
     )
 
 
+def checkpoint_path(directory: str | Path, step: int) -> Path:
+    """Canonical checkpoint filename for ``step`` inside ``directory``."""
+    return Path(directory) / f"ckpt_{step:08d}.npz"
+
+
+def latest_checkpoint(directory: str | Path) -> tuple[Path, int] | None:
+    """Newest (highest-step) checkpoint in ``directory``, or ``None``.
+
+    Only files matching the :func:`checkpoint_path` naming scheme are
+    considered, so foreign ``.npz`` files in the directory are ignored.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    best: tuple[Path, int] | None = None
+    for p in directory.glob("ckpt_*.npz"):
+        digits = p.stem[len("ckpt_"):]
+        if not digits.isdigit():
+            continue
+        step = int(digits)
+        if best is None or step > best[1]:
+            best = (p, step)
+    return best
+
+
 def load_state(path: str | Path) -> tuple[ModelState, int]:
     """Read a checkpoint; returns ``(state, step)``.
 

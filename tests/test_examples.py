@@ -16,6 +16,7 @@ CASES = [
     ("lamb_wave.py", ["--steps", "8"]),
     ("timeline_trace.py", ["--steps", "1", "--nprocs", "4"]),
     ("approximation_error.py", ["--steps", "1"]),
+    ("fault_tolerance.py", ["--steps", "3", "--nprocs", "4"]),
 ]
 
 

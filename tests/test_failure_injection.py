@@ -49,6 +49,66 @@ class TestSubstrateFailures:
         assert set(exc_info.value.failures) == {2}
 
 
+class TestFailureDiagnostics:
+    """The improved error messages name ranks, tags and backlogs."""
+
+    def test_recv_timeout_names_source_tag_and_backlog(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, np.zeros(2), tag=7)
+                comm.send(1, np.zeros(2), tag=7)
+            else:
+                comm.recv(0, tag=3)
+
+        with pytest.raises(SpmdError) as exc_info:
+            run_spmd(2, prog, timeout=0.5)
+        msg = str(exc_info.value)
+        assert "recv(source=0, tag=3)" in msg
+        assert "(src=0, tag=7) x2" in msg  # pending mailbox contents
+
+    def test_collective_timeout_names_arrived_and_missing_ranks(self):
+        def prog(comm):
+            if comm.rank != 2:
+                comm.allreduce(np.zeros(4))
+
+        with pytest.raises(SpmdError) as exc_info:
+            run_spmd(3, prog, timeout=0.5)
+        msg = str(exc_info.value)
+        assert "ranks [2] missing" in msg
+
+    def test_spmd_error_summarizes_every_failing_rank(self):
+        def prog(comm):
+            raise ValueError(f"boom on {comm.rank}")
+
+        with pytest.raises(SpmdError) as exc_info:
+            run_spmd(3, prog, timeout=1.0)
+        msg = str(exc_info.value)
+        for r in range(3):
+            assert f"rank {r}: ValueError: boom on {r}" in msg
+        assert sorted(exc_info.value.exceptions) == [0, 1, 2]
+        assert all(
+            isinstance(e, ValueError)
+            for e in exc_info.value.exceptions.values()
+        )
+
+    def test_one_rank_failure_aborts_survivors_quickly(self):
+        """A crashed rank must not make survivors wait out the timeout."""
+        import time
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead")
+            comm.recv(0, tag=0)  # would block until timeout without abort
+
+        t0 = time.monotonic()
+        with pytest.raises(SpmdError) as exc_info:
+            run_spmd(3, prog, timeout=60.0)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 30.0, f"abort was not fast: {elapsed:.1f}s"
+        assert "aborted" in str(exc_info.value)
+        assert isinstance(exc_info.value.exceptions[0], RuntimeError)
+
+
 class TestCoreFailures:
     def test_nan_state_detected(self):
         from repro.constants import ModelParameters
