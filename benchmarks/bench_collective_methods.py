@@ -10,7 +10,6 @@ Compares, on the executed cores:
 Numerics must agree across variants; the accounting differences are the
 deliverable.
 """
-import numpy as np
 
 from repro.constants import ModelParameters
 from repro.core.distributed import DistributedConfig, original_rank_program

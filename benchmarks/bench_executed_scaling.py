@@ -6,7 +6,6 @@ decreases with more ranks for the communication-avoiding core (on a
 communication-light machine where compute dominates, strong scaling must
 be visible even at toy sizes).
 """
-import pytest
 
 from repro.constants import ModelParameters
 from repro.core.comm_avoiding import ca_rank_program

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark CLI: emit and gate BENCH_<date>.json artifacts.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/harness.py --quick \
+        --out artifacts/ --baseline benchmarks/baseline/BENCH_baseline.json
+
+Runs the executed-kernel benchmark suite of :mod:`repro.perf.wallclock`
+(serial + distributed step throughput, per-kernel breakdown, workspace
+allocation counters) and writes a schema-versioned JSON report.  With
+``--baseline`` the report is compared against the committed reference and
+the process exits nonzero when step throughput regresses by more than
+``--tolerance`` (default 20%) — this is the CI gate.
+
+``--check`` only compares an existing report (no benchmarks are run).
+"""
+from __future__ import annotations
+
+import argparse
+import datetime
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf.wallclock import (  # noqa: E402
+    compare_reports,
+    load_report,
+    run_benchmarks,
+    write_report,
+)
+
+
+def _render(report: dict) -> str:
+    lines = [f"benchmark report (schema v{report['schema_version']}, "
+             f"quick={report['quick']})"]
+    for case in report["cases"]:
+        if case["kind"] == "kernels":
+            lines.append(f"  kernels [{case['mesh']}]:")
+            for name, rec in case["kernels"].items():
+                lines.append(
+                    f"    {name:<11} seed {rec['seed_ms']:8.3f} ms   "
+                    f"ws {rec['ws_ms']:8.3f} ms   x{rec['speedup']:.2f}"
+                )
+            continue
+        tag = case["kind"] + (
+            f" {case['algorithm']}@{case['nprocs']}" if "algorithm" in case
+            else ""
+        )
+        lines.append(
+            f"  {tag:<28} [{case['mesh']:<6}] "
+            f"seed {case['seed_ms_per_step']:8.2f} ms/step   "
+            f"ws {case['ws_ms_per_step']:8.2f} ms/step   "
+            f"x{case['speedup']:.2f}  ({case['steps_per_sec']:.2f} steps/s)"
+        )
+        if "allocations" in case:
+            a = case["allocations"]
+            lines.append(
+                f"  {'':<28} pool: {a['fresh']} fresh / {a['reuses']} "
+                f"reuses / {a['pooled_bytes'] / 1e6:.2f} MB parked"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI-sized run: small mesh, fewer steps")
+    ap.add_argument("--repeats", type=int, default=1,
+                    help="best-of-N repeats for the serial throughput cases")
+    ap.add_argument("--out", default=".",
+                    help="directory (or full path) of the emitted JSON")
+    ap.add_argument("--baseline", default=None,
+                    help="committed baseline JSON to gate against")
+    ap.add_argument("--tolerance", type=float, default=0.2,
+                    help="allowed fractional throughput drop (default 0.2)")
+    ap.add_argument("--check", default=None, metavar="REPORT",
+                    help="compare an existing report only; run nothing")
+    args = ap.parse_args(argv)
+
+    if args.check is not None:
+        report = load_report(args.check)
+    else:
+        report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+        out = Path(args.out)
+        if out.suffix != ".json":
+            stamp = datetime.date.today().isoformat()
+            out = out / f"BENCH_{stamp}.json"
+        path = write_report(report, out)
+        print(f"wrote {path}")
+    print(_render(report))
+
+    if args.baseline is not None:
+        regressions = compare_reports(
+            report, load_report(args.baseline), tolerance=args.tolerance
+        )
+        if regressions:
+            print("\nREGRESSIONS vs baseline:")
+            for r in regressions:
+                print(f"  {r}")
+            return 1
+        print(f"\nno regressions vs {args.baseline} "
+              f"(tolerance {args.tolerance * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

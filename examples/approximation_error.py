@@ -21,7 +21,11 @@ from repro.physics import perturbed_rest_state
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--steps", type=int, default=2)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (overrides size flags)")
     args = parser.parse_args()
+    if args.quick:
+        args.steps = 1
 
     grid = LatLonGrid(nx=32, ny=16, nz=6)
     state0 = perturbed_rest_state(grid, amplitude_k=2.0)

@@ -29,7 +29,12 @@ def main() -> None:
     parser.add_argument("--m", type=int, default=1,
                         help="nonlinear iterations per step (paper: 3; "
                         "small blocks need small M for the wide halos)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (overrides size flags)")
     args = parser.parse_args()
+    if args.quick:
+        args.steps = 2
+        args.nprocs = 4
 
     grid = LatLonGrid(nx=32, ny=16, nz=8)
     params = ModelParameters(

@@ -85,7 +85,12 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--nprocs", type=int, default=8)
     parser.add_argument("--steps", type=int, default=2)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (overrides size flags)")
     args = parser.parse_args()
+    if args.quick:
+        args.nprocs = 4
+        args.steps = 1
     lower_bound_table()
     executed_comparison(args.nprocs, args.steps)
     projected_comparison()

@@ -126,7 +126,12 @@ def main() -> None:
     parser.add_argument("--steps", type=int, default=4)
     parser.add_argument("--nprocs", type=int, default=4)
     parser.add_argument("--width", type=int, default=72)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (overrides size flags)")
     args = parser.parse_args()
+    if args.quick:
+        args.steps = 3
+        args.nprocs = 4
     demo_recovery(args)
     demo_perturbed_schedule(args)
 

@@ -28,7 +28,15 @@ def main() -> None:
     parser.add_argument("--spinup-days", type=float, default=None,
                         help="days excluded from the time mean "
                         "(default: half the run)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (overrides size flags)")
     args = parser.parse_args()
+    if args.quick:
+        args.days = 0.05
+        args.nx = 32
+        args.ny = 16
+        args.nz = 6
+        args.spinup_days = 0.02
 
     grid = LatLonGrid(nx=args.nx, ny=args.ny, nz=args.nz)
     params = ModelParameters(dt_adaptation=100.0, dt_advection=300.0)

@@ -29,7 +29,11 @@ def main() -> None:
                         help="zonal wavenumber to excite")
     parser.add_argument("--steps", type=int, default=60)
     parser.add_argument("--dt", type=float, default=200.0)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (overrides size flags)")
     args = parser.parse_args()
+    if args.quick:
+        args.steps = 8
 
     grid = LatLonGrid(nx=32, ny=16, nz=6)
     params = ModelParameters(

@@ -28,7 +28,14 @@ def main() -> None:
     parser.add_argument("--nz", type=int, default=8)
     parser.add_argument("--dt", type=float, default=100.0,
                         help="adaptation sub-step [s]")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (overrides size flags)")
     args = parser.parse_args()
+    if args.quick:
+        args.steps = 3
+        args.nx = 32
+        args.ny = 16
+        args.nz = 6
 
     grid = LatLonGrid(nx=args.nx, ny=args.ny, nz=args.nz)
     params = ModelParameters(

@@ -34,7 +34,12 @@ def main() -> None:
     parser.add_argument("--steps", type=int, default=1)
     parser.add_argument("--nprocs", type=int, default=4)
     parser.add_argument("--width", type=int, default=72)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (overrides size flags)")
     args = parser.parse_args()
+    if args.quick:
+        args.steps = 1
+        args.nprocs = 4
 
     grid = LatLonGrid(nx=32, ny=16, nz=8)
     params = ModelParameters(

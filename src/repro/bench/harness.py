@@ -14,7 +14,7 @@ Two layers of evidence:
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.constants import ModelParameters
 from repro.core.driver import DynamicalCore, StepDiagnostics
@@ -22,7 +22,6 @@ from repro.grid.decomposition import Decomposition
 from repro.grid.latlon import LatLonGrid, paper_grid
 from repro.perf.model import (
     ALGORITHMS,
-    AlgorithmTiming,
     PAPER_PROC_SWEEP,
     PerformanceModel,
 )

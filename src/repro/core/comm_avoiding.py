@@ -30,12 +30,11 @@ import numpy as np
 
 from repro.core.distributed import (
     DistributedConfig,
-    PHASE_COLLECTIVE,
-    PHASE_COMPUTE,
     PHASE_STENCIL,
     RankContext,
     RankResult,
 )
+from repro.core.workspace import StateRing
 from repro.operators.smoothing import (
     OFFSETS_L,
     OFFSETS_L_PRIME,
@@ -128,29 +127,46 @@ class CommAvoidingRank(RankContext):
             req.wait()
         self.comm.set_phase(None)
         # rebuild w / sigma-dot on the refreshed rows (cheap: whole array)
-        vd.w_iface[...] = vd.pw_iface / vd.p_fac[None]
-        vd.sdot_iface[...] = vd.pw_iface / (vd.p_fac[None] ** 2)
+        if self.ws is not None:
+            t2 = self.ws.take(vd.p_fac.shape)
+            np.divide(vd.pw_iface, vd.p_fac[None], out=vd.w_iface)
+            np.power(vd.p_fac, 2, out=t2)
+            np.divide(vd.pw_iface, t2[None], out=vd.sdot_iface)
+            self.ws.give(t2)
+        else:
+            vd.w_iface[...] = vd.pw_iface / vd.p_fac[None]
+            vd.sdot_iface[...] = vd.pw_iface / (vd.p_fac[None] ** 2)
 
     # ------------------------------------------------------------------
     # the fused smoothing (Sec. 4.3.2)
     # ------------------------------------------------------------------
-    def former_smoothing(self, pre: ModelState) -> ModelState:
+    def former_smoothing(
+        self, pre: ModelState, out: ModelState | None = None
+    ) -> ModelState:
         """``S1``: full smoothing away from rank-boundary strips, partial
         (locally computable offsets) on the strips.
 
         Pole-side edges have valid mirror ghosts, so they are smoothed
-        fully; only true rank boundaries need the split.
+        fully; only true rank boundaries need the split.  With a workspace
+        an ``out`` state may be supplied; the full smoothing then runs in
+        place in pooled buffers (bit-identical).
         """
         g = self.geom
         gy = g.gy
         ny_i = self.extent.ny
         self.charge(self.cfg.weights.smoothing, self._wpoints)
-        out = ModelState(
-            U=self.smoothers["U"].full(pre.U),
-            V=self.smoothers["V"].full(pre.V),
-            Phi=self.smoothers["Phi"].full(pre.Phi),
-            psa=self.smoothers["psa"].full(pre.psa),
-        )
+        if out is not None and self.ws is not None:
+            for name in ("U", "V", "Phi", "psa"):
+                self.smoothers[name].full_into(
+                    getattr(pre, name), getattr(out, name), self.ws
+                )
+        else:
+            out = ModelState(
+                U=self.smoothers["U"].full(pre.U),
+                V=self.smoothers["V"].full(pre.V),
+                Phi=self.smoothers["Phi"].full(pre.Phi),
+                psa=self.smoothers["psa"].full(pre.psa),
+            )
         north_strip = not g.touches_north
         south_strip = not g.touches_south
         for name in ("U", "V", "Phi", "psa"):
@@ -197,7 +213,11 @@ class CommAvoidingRank(RankContext):
                         ..., rows, :
                     ]
             # full smoothing of the received halo rows / levels
-            full = sm.full(a_pre)
+            if self.ws is not None:
+                full = self.ws.take(a_pre.shape)
+                sm.full_into(a_pre, full, self.ws)
+            else:
+                full = sm.full(a_pre)
             if north_strip:
                 a_out[..., :gy, :] = full[..., :gy, :]
             if south_strip:
@@ -207,6 +227,8 @@ class CommAvoidingRank(RankContext):
                     a_out[:gz] = full[:gz]
                 if not g.touches_bottom:
                     a_out[nz_i + gz:] = full[nz_i + gz:]
+            if self.ws is not None:
+                self.ws.give(full)
 
     # ------------------------------------------------------------------
     # overlap helper: charge the inner-block compute before the wait
@@ -233,11 +255,15 @@ def _adaptation_update(
     base: ModelState,
     vd: VerticalDiagnostics,
     dt1: float,
+    out: ModelState | None = None,
 ) -> ModelState:
     """One internal update ``base + dt1 * F(C + A)(psi)`` on block+halo."""
     tend = ctx.engine.adaptation(psi, vd)
     ctx.engine.apply_filter(tend)
-    out = base.axpy(dt1, tend)
+    if out is not None:
+        out = base.axpy_into(dt1, tend, out)
+    else:
+        out = base.axpy(dt1, tend)
     ctx.engine.fill_physical_ghosts(out)
     return out
 
@@ -258,12 +284,22 @@ def ca_rank_program(
     ctx.fill_bc(xi_pre)
     first_step = True
 
+    ring = StateRing(ctx.ws, ctx.geom.shape3d) if ctx.ws is not None else None
+
+    def scr(*live: ModelState) -> ModelState | None:
+        return ring.scratch(*live) if ring is not None else None
+
     for _step in range(cfg.nsteps):
         # ---- fused smoothing + adaptation exchange (1st of 2 per step) ----
         # Algorithm 2 lines 4-12: the smoothing belongs to the *previous*
         # step and is skipped on the first one (k = 1).
-        pre = xi_pre.copy()
-        smoothed = None if first_step else ctx.former_smoothing(pre)
+        if ring is not None:
+            pre = xi_pre.copy_into(ring.scratch(xi_pre))
+        else:
+            pre = xi_pre.copy()
+        smoothed = (
+            None if first_step else ctx.former_smoothing(pre, out=scr(pre))
+        )
 
         comm.set_phase(PHASE_STENCIL)
         pending = ctx.halo.start(state_fields(pre))
@@ -310,18 +346,25 @@ def ca_rank_program(
                 ctx.charge_outer(W.adaptation)
             else:
                 ctx.charge(W.adaptation, ctx._wpoints)
-            eta1 = _adaptation_update(ctx, psi, psi, vd1, dt1)
+            eta1 = _adaptation_update(ctx, psi, psi, vd1, dt1, scr(psi))
 
             vd2 = ctx.vertical_fresh(eta1)
             ctx.vd_stale = vd2
             ctx.charge(W.adaptation, ctx._wpoints)
-            eta2 = _adaptation_update(ctx, eta1, psi, vd2, dt1)
+            eta2 = _adaptation_update(
+                ctx, eta1, psi, vd2, dt1, scr(psi, eta1)
+            )
 
-            mid = ModelState.midpoint(psi, eta2)
+            if ring is not None:
+                mid = ModelState.midpoint_into(
+                    psi, eta2, ring.scratch(psi, eta2)
+                )
+            else:
+                mid = ModelState.midpoint(psi, eta2)
             vd3 = ctx.vertical_fresh(mid)
             ctx.vd_stale = vd3
             ctx.charge(W.adaptation, ctx._wpoints)
-            psi = _adaptation_update(ctx, mid, psi, vd3, dt1)
+            psi = _adaptation_update(ctx, mid, psi, vd3, dt1, scr(psi, mid))
             ctx.charge(W.update, 3 * ctx._wpoints)
 
         vd_frozen = ctx.vd_stale
@@ -347,18 +390,30 @@ def ca_rank_program(
         else:
             ctx.charge(W.advection, ctx._wpoints)
         tend = ctx.engine.apply_filter(ctx.engine.advection(psi, vd_frozen))
-        zeta1 = psi.axpy(dt2, tend)
+        zeta1 = (
+            psi.axpy_into(dt2, tend, ring.scratch(psi))
+            if ring is not None else psi.axpy(dt2, tend)
+        )
         ctx.engine.fill_physical_ghosts(zeta1)
 
         ctx.charge(W.advection, ctx._wpoints)
         tend = ctx.engine.apply_filter(ctx.engine.advection(zeta1, vd_frozen))
-        zeta2 = psi.axpy(dt2, tend)
+        zeta2 = (
+            psi.axpy_into(dt2, tend, ring.scratch(psi, zeta1))
+            if ring is not None else psi.axpy(dt2, tend)
+        )
         ctx.engine.fill_physical_ghosts(zeta2)
 
-        mid = ModelState.midpoint(psi, zeta2)
+        if ring is not None:
+            mid = ModelState.midpoint_into(psi, zeta2, ring.scratch(psi, zeta2))
+        else:
+            mid = ModelState.midpoint(psi, zeta2)
         ctx.charge(W.advection, ctx._wpoints)
         tend = ctx.engine.apply_filter(ctx.engine.advection(mid, vd_frozen))
-        xi_pre = psi.axpy(dt2, tend)
+        xi_pre = (
+            psi.axpy_into(dt2, tend, ring.scratch(psi, mid))
+            if ring is not None else psi.axpy(dt2, tend)
+        )
         ctx.engine.fill_physical_ghosts(xi_pre)
         ctx.charge(W.update, 3 * ctx._wpoints)
         first_step = False
@@ -369,9 +424,14 @@ def ca_rank_program(
     comm.set_phase(None)
     ctx.fill_bc(xi_pre)
     ctx.charge(cfg.weights.smoothing, ctx._wpoints)
-    from repro.operators.smoothing import smooth_state
+    from repro.operators.smoothing import smooth_state, smooth_state_into
 
-    out = smooth_state(xi_pre, params)
+    if ring is not None:
+        out = smooth_state_into(
+            xi_pre, params, ring.scratch(xi_pre), ctx.ws, ctx.smoothers
+        )
+    else:
+        out = smooth_state(xi_pre, params)
     ctx.fill_bc(out)
     if cfg.forcing is not None:
         cfg.forcing(out, ctx.geom, dt2)

@@ -15,7 +15,7 @@ integration tests assert.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -23,12 +23,13 @@ import numpy as np
 from repro.constants import DEFAULT_PARAMETERS, ModelParameters
 from repro.core.halo import AntipodalPoleExchanger, HaloExchanger
 from repro.core.tendencies import TendencyEngine
+from repro.core.workspace import StateRing, Workspace
 from repro.grid.decomposition import Decomposition
 from repro.grid.latlon import LatLonGrid
 from repro.grid.sigma import SigmaLevels
-from repro.operators.filter import apply_filter_rows, damping_factors
+from repro.operators.filter import damping_factors
 from repro.operators.geometry import WorkingGeometry
-from repro.operators.smoothing import smooth_state
+from repro.operators.smoothing import smooth_state, smooth_state_into, smoothers_for
 from repro.operators.vertical import VerticalDiagnostics
 from repro.perf.costs import ComputeWeights, DEFAULT_WEIGHTS
 from repro.simmpi.comm import SimComm, SubComm
@@ -67,6 +68,9 @@ class DistributedConfig:
     #: replicated work) or "transpose" (alltoall row redistribution, the
     #: work-sharing method of parallel FFT libraries; needs equal x-blocks)
     filter_method: str = "allgather"
+    #: run the per-rank pool-backed fast path (bit-identical numerics;
+    #: ``False`` keeps the original allocating implementation)
+    use_workspace: bool = True
 
     def validate_c_method(self) -> None:
         if self.c_method not in ("allgather", "scan"):
@@ -126,13 +130,16 @@ class RankContext:
             self.xsub = comm.subcomm(decomp.ranks_along("x", comm.rank))
 
         cfg.validate_c_method()
+        self.ws = Workspace() if cfg.use_workspace else None
+        self.smoothers = smoothers_for(cfg.params)
+        self._vd_last: VerticalDiagnostics | None = None
         if cfg.c_method == "scan" and decomp.pz > 1:
             self.engine = TendencyEngine(
-                self.geom, cfg.params, scan_z=self._make_scan()
+                self.geom, cfg.params, scan_z=self._make_scan(), ws=self.ws
             )
         else:
             self.engine = TendencyEngine(
-                self.geom, cfg.params, gather_z=self._make_gather()
+                self.geom, cfg.params, gather_z=self._make_gather(), ws=self.ws
             )
         # distributed-filter factors (X-Y / 3-D case): full-circle cutoffs
         if not self.geom.full_x:
@@ -234,7 +241,14 @@ class RankContext:
     # ---- operators with charging ----------------------------------------------------
     def vertical_fresh(self, state: ModelState) -> VerticalDiagnostics:
         self.charge(self.cfg.weights.vertical, self._wpoints)
+        if self.ws is not None:
+            # every rank program consumes a C bundle before requesting the
+            # next fresh one, so the previous bundle is dead here: recycle
+            last, self._vd_last = self._vd_last, None
+            self.ws.give_vd(last)
         vd = self.engine.vertical(state)
+        if self.ws is not None:
+            self._vd_last = vd
         self.c_calls += 1
         return vd
 
@@ -435,8 +449,16 @@ class RankResult:
     exchanges: int
 
 
-def _update(psi: ModelState, dt: float, tend: ModelState, ctx: RankContext) -> ModelState:
+def _update(
+    psi: ModelState,
+    dt: float,
+    tend: ModelState,
+    ctx: RankContext,
+    out: ModelState | None = None,
+) -> ModelState:
     ctx.charge(ctx.cfg.weights.update, ctx._wpoints)
+    if out is not None:
+        return psi.axpy_into(dt, tend, out)
     return psi.axpy(dt, tend)
 
 
@@ -460,35 +482,69 @@ def original_rank_program(
     psi = ctx.pad_local(initial)
     ctx.refresh_halos(psi)
 
+    ring = StateRing(ctx.ws, ctx.geom.shape3d) if ctx.ws is not None else None
+
+    def scr(*live: ModelState) -> ModelState | None:
+        return ring.scratch(*live) if ring is not None else None
+
     for _ in range(cfg.nsteps):
         # ---- adaptation: M iterations x 3 internal updates ----
         for _i in range(M):
             vd = ctx.vertical_fresh(psi)
-            eta1 = _update(psi, dt1, ctx.filtered_adaptation(psi, vd), ctx)
+            eta1 = _update(
+                psi, dt1, ctx.filtered_adaptation(psi, vd), ctx, scr(psi)
+            )
             ctx.refresh_halos(eta1)
 
             vd = ctx.vertical_fresh(eta1)
-            eta2 = _update(psi, dt1, ctx.filtered_adaptation(eta1, vd), ctx)
+            eta2 = _update(
+                psi, dt1, ctx.filtered_adaptation(eta1, vd), ctx,
+                scr(psi, eta1),
+            )
             ctx.refresh_halos(eta2)
 
-            mid = ModelState.midpoint(psi, eta2)
+            if ring is not None:
+                mid = ModelState.midpoint_into(
+                    psi, eta2, ring.scratch(psi, eta2)
+                )
+            else:
+                mid = ModelState.midpoint(psi, eta2)
             vd = ctx.vertical_fresh(mid)
-            psi = _update(psi, dt1, ctx.filtered_adaptation(mid, vd), ctx)
+            psi = _update(
+                psi, dt1, ctx.filtered_adaptation(mid, vd), ctx,
+                scr(psi, mid),
+            )
             ctx.refresh_halos(psi)
         vd_frozen = vd
 
         # ---- advection: one iteration, 3 internal updates ----
-        zeta1 = _update(psi, dt2, ctx.filtered_advection(psi, vd_frozen), ctx)
+        zeta1 = _update(
+            psi, dt2, ctx.filtered_advection(psi, vd_frozen), ctx, scr(psi)
+        )
         ctx.refresh_halos(zeta1)
-        zeta2 = _update(psi, dt2, ctx.filtered_advection(zeta1, vd_frozen), ctx)
+        zeta2 = _update(
+            psi, dt2, ctx.filtered_advection(zeta1, vd_frozen), ctx,
+            scr(psi, zeta1),
+        )
         ctx.refresh_halos(zeta2)
-        mid = ModelState.midpoint(psi, zeta2)
-        psi = _update(psi, dt2, ctx.filtered_advection(mid, vd_frozen), ctx)
+        if ring is not None:
+            mid = ModelState.midpoint_into(psi, zeta2, ring.scratch(psi, zeta2))
+        else:
+            mid = ModelState.midpoint(psi, zeta2)
+        psi = _update(
+            psi, dt2, ctx.filtered_advection(mid, vd_frozen), ctx,
+            scr(psi, mid),
+        )
         ctx.refresh_halos(psi)
 
         # ---- smoothing (the 13th exchange already happened above) ----
         ctx.charge(cfg.weights.smoothing, ctx._wpoints)
-        psi = smooth_state(psi, params)
+        if ring is not None:
+            psi = smooth_state_into(
+                psi, params, ring.scratch(psi), ctx.ws, ctx.smoothers
+            )
+        else:
+            psi = smooth_state(psi, params)
 
         if cfg.forcing is not None:
             cfg.forcing(psi, ctx.geom, dt2)

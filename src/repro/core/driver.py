@@ -14,10 +14,8 @@ This is the entry point the examples and most downstream users want:
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
-
-import numpy as np
 
 from repro.constants import DEFAULT_PARAMETERS, ModelParameters
 from repro.core.comm_avoiding import ca_rank_program
@@ -101,6 +99,8 @@ class CoreConfig:
     decomp: Decomposition | None = None
     #: wall-clock deadlock timeout for run_spmd; None → scale with nsteps
     timeout: float | None = None
+    #: pool-backed fast path (bit-identical numerics; False = seed path)
+    use_workspace: bool = True
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -178,6 +178,7 @@ class DynamicalCore:
                 sigma=cfg.sigma,
                 params=cfg.params,
                 forcing=cfg.forcing,
+                use_workspace=cfg.use_workspace,
             )
             out = core.run(state0, nsteps)
             diag = StepDiagnostics(c_calls=core.c_calls)
@@ -191,6 +192,7 @@ class DynamicalCore:
             sigma=cfg.sigma,
             nsteps=nsteps,
             forcing=cfg.forcing,
+            use_workspace=cfg.use_workspace,
         )
         program = (
             ca_rank_program if cfg.algorithm == "ca" else original_rank_program

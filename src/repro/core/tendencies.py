@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.constants import ModelParameters
-from repro.operators.adaptation import adaptation_tendency
-from repro.operators.advection import advection_tendency
+from repro.operators.adaptation import AdaptationGeomCache, adaptation_tendency
+from repro.operators.advection import AdvectionGeomCache, advection_tendency
 from repro.operators.filter import PolarFilter
 from repro.operators.geometry import WorkingGeometry
 from repro.operators.shifts import (
@@ -34,6 +34,7 @@ from repro.operators.vertical import (
     DEFAULT_REFERENCE,
     GatherFn,
     VerticalDiagnostics,
+    VerticalGeomCache,
     compute_vertical_diagnostics,
     compute_vertical_diagnostics_scan,
 )
@@ -53,10 +54,19 @@ class TendencyEngine:
     #: on the z line; takes precedence over ``gather_z`` when set
     scan_z: tuple | None = None
     reference: StandardAtmosphere = DEFAULT_REFERENCE
+    #: optional per-rank workspace; when set, the operator evaluations run
+    #: their pool-backed fast paths (bit-identical to the allocating seed
+    #: paths) and tendencies land in one engine-owned buffer
+    ws: object | None = None
 
     def __post_init__(self) -> None:
         if self.polar_filter is None and self.geom.full_x:
             self.polar_filter = PolarFilter(self.geom, self.params)
+        if self.ws is not None:
+            self._vert_cache = VerticalGeomCache(self.geom)
+            self._adapt_cache = AdaptationGeomCache(self.geom)
+            self._advec_cache = AdvectionGeomCache(self.geom)
+            self._tend = ModelState.zeros(self.geom.shape3d)
 
     # ---- boundary conditions -----------------------------------------------
     def fill_physical_ghosts(self, state: ModelState) -> None:
@@ -93,6 +103,12 @@ class TendencyEngine:
                 state.U, state.V, state.Phi, state.psa, self.geom,
                 exscan, allreduce, self.reference,
             )
+        if self.ws is not None:
+            return compute_vertical_diagnostics(
+                state.U, state.V, state.Phi, state.psa, self.geom,
+                self.gather_z, self.reference,
+                ws=self.ws, cache=self._vert_cache,
+            )
         return compute_vertical_diagnostics(
             state.U, state.V, state.Phi, state.psa, self.geom,
             self.gather_z, self.reference,
@@ -110,7 +126,15 @@ class TendencyEngine:
         whole point of the Sec. 4.2.2 optimization.  The caller applies
         the ``F`` operator (:meth:`apply_filter` locally, or the x-line
         collective of the distributed X-Y core).
+
+        With a workspace configured, the tendency is written into the
+        engine-owned buffer (valid until the next tendency evaluation).
         """
+        if self.ws is not None:
+            return adaptation_tendency(
+                state, vd, self.geom, self.params,
+                ws=self.ws, out=self._tend, cache=self._adapt_cache,
+            )
         return adaptation_tendency(state, vd, self.geom, self.params)
 
     def advection(
@@ -118,6 +142,11 @@ class TendencyEngine:
     ) -> ModelState:
         """``L``: the (unfiltered) advection tendency with frozen
         ``sigma-dot``."""
+        if self.ws is not None:
+            return advection_tendency(
+                state, vd, self.geom,
+                ws=self.ws, out=self._tend, cache=self._advec_cache,
+            )
         return advection_tendency(state, vd, self.geom)
 
     def apply_filter(self, tend: ModelState) -> ModelState:

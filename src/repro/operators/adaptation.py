@@ -62,18 +62,46 @@ def surface_dissipation(psa: np.ndarray, geom: WorkingGeometry) -> np.ndarray:
     return constants.K_SA * constants.NU_SA / constants.P_REFERENCE * lap
 
 
+class AdaptationGeomCache:
+    """Geometry-derived constant rows of ``A-hat``, computed once.
+
+    The seed path rebuilds these broadcastable metric rows on every call;
+    each cached value is produced by the very same expression, so the
+    workspace fast path stays bit-identical.
+    """
+
+    def __init__(self, geom: WorkingGeometry) -> None:
+        a = geom.grid.radius
+        self.a_sin_c3 = a * geom.row3(geom.sin_c)
+        self.two_omega_cos_c3 = 2.0 * constants.EARTH_OMEGA * geom.row3(geom.cos_c)
+        self.cot_c3 = geom.row3(geom.cos_c / geom.sin_c)
+        self.two_omega_cos_v3 = 2.0 * constants.EARTH_OMEGA * geom.row3(geom.cos_v)
+        self.cot_v3 = geom.row3(geom.cos_v / geom.sin_v)
+        self.sig_mid3 = geom.lev3(geom.sigma_mid)
+
+
 def adaptation_tendency(
     state: ModelState,
     vd: VerticalDiagnostics,
     geom: WorkingGeometry,
     params: ModelParameters,
+    ws=None,
+    out: ModelState | None = None,
+    cache: AdaptationGeomCache | None = None,
 ) -> ModelState:
     """Evaluate ``A-tilde(xi) = C-hat + A-hat`` given the ``C`` diagnostics.
 
     Returns the adaptation tendency as a :class:`ModelState` on the working
     shapes (valid on the interior minus one stencil radius; callers manage
-    ghost margins).
+    ghost margins).  With ``ws`` and ``out`` given, all temporaries come
+    from the workspace pool and the tendency is written into ``out``
+    (bit-identical to the allocating path; ``out`` must not alias
+    ``state``).
     """
+    if ws is not None:
+        return _adaptation_tendency_ws(
+            state, vd, geom, params, ws, out, cache or AdaptationGeomCache(geom)
+        )
     U, V, Phi, psa = state.U, state.V, state.Phi, state.psa
     grid = geom.grid
     a = grid.radius
@@ -156,3 +184,186 @@ def adaptation_tendency(
     )
 
     return ModelState(U=tend_u, V=tend_v, Phi=tend_phi, psa=tend_psa)
+
+
+def _adaptation_tendency_ws(
+    state: ModelState,
+    vd: VerticalDiagnostics,
+    geom: WorkingGeometry,
+    params: ModelParameters,
+    ws,
+    out: ModelState,
+    cache: AdaptationGeomCache,
+) -> ModelState:
+    """Pool-backed ``A-tilde``, bit-identical to the allocating path.
+
+    Transcribes :func:`adaptation_tendency` binary operation by binary
+    operation into preallocated buffers; only scalar-factor multiplies are
+    commuted (bitwise-exact in IEEE arithmetic).
+    """
+    from repro.operators.shifts import sx_into, sy_into
+    from repro.operators.vertical import DEFAULT_REFERENCE
+
+    U, V, Phi, psa = state.U, state.V, state.Phi, state.psa
+    grid = geom.grid
+    a = grid.radius
+    dlam, dth = grid.dlambda, grid.dtheta
+    b = constants.B_GRAVITY_WAVE
+    phi_p = vd.phi_prime
+
+    shape3 = U.shape
+    shape2 = psa.shape
+    t1 = ws.take(shape3)
+    t2 = ws.take(shape3)
+    t3 = ws.take(shape3)
+    t4 = ws.take(shape3)
+    t5 = ws.take(shape3)
+    t6 = ws.take(shape3)
+    pf = ws.take(shape2)       # P
+    pes_b = ws.take(shape2)    # p_es
+    baro_b = ws.take(shape2)   # P R T~(p_s)
+    pstag = ws.take(shape2)    # P averaged to U-points / V-rows
+    b2a = ws.take(shape2)      # rotating 2-D scratch
+    b2b = ws.take(shape2)
+
+    # P = sqrt((psa + p0 - pt) / p0);  p_es = P^2 * p0
+    np.add(psa, constants.P_REFERENCE, out=pf)
+    np.subtract(pf, constants.P_TOP, out=pf)
+    if np.any(pf <= 0):
+        raise ValueError("surface pressure must exceed the model-top pressure")
+    np.divide(pf, constants.P_REFERENCE, out=pf)
+    np.sqrt(pf, out=pf)
+    np.power(pf, 2, out=pes_b)
+    np.multiply(pes_b, constants.P_REFERENCE, out=pes_b)
+
+    t_ref_surf = DEFAULT_REFERENCE.temperature(psa + constants.P_REFERENCE)
+    np.multiply(pf, constants.R_DRY, out=baro_b)
+    np.multiply(baro_b, t_ref_surf, out=baro_b)
+
+    # ---- U tendency (U-points) -------------------------------------------
+    # p_lambda_1 = p_u * ddx_c2u(phi', dlam) / (a sin)
+    sx_into(pf, -1, pstag)
+    np.add(pstag, pf, out=pstag)
+    np.multiply(pstag, 0.5, out=pstag)                 # p_u
+    sx_into(phi_p, -1, t1)
+    np.subtract(phi_p, t1, out=t1)
+    np.divide(t1, dlam, out=t1)
+    np.multiply(t1, pstag[None], out=t1)
+    np.divide(t1, cache.a_sin_c3, out=t1)
+    # p_lambda_2 = (b to_u(Phi) + to_u(baro)) / pes_u * ddx_c2u(pes) / (a sin)
+    sx_into(Phi, -1, t2)
+    np.add(t2, Phi, out=t2)
+    np.multiply(t2, 0.5, out=t2)
+    np.multiply(t2, b, out=t2)
+    sx_into(baro_b, -1, b2a)
+    np.add(b2a, baro_b, out=b2a)
+    np.multiply(b2a, 0.5, out=b2a)                     # baro_u
+    np.add(t2, b2a[None], out=t2)
+    sx_into(pes_b, -1, b2a)
+    np.add(b2a, pes_b, out=b2a)
+    np.multiply(b2a, 0.5, out=b2a)                     # pes_u
+    np.divide(t2, b2a[None], out=t2)
+    sx_into(pes_b, -1, b2a)
+    np.subtract(pes_b, b2a, out=b2a)
+    np.divide(b2a, dlam, out=b2a)                      # ddx_c2u(pes)
+    np.multiply(t2, b2a[None], out=t2)
+    np.divide(t2, cache.a_sin_c3, out=t2)
+    # f_star_u, v_bar_u
+    np.divide(U, pstag[None], out=t3)                  # u_phys at U-points
+    np.multiply(t3, cache.cot_c3, out=t4)
+    np.divide(t4, a, out=t4)
+    np.add(cache.two_omega_cos_c3, t4, out=t4)         # f_star_u
+    sx_into(V, -1, t5)
+    sy_into(t5, -1, t6)
+    sy_into(V, -1, t3)
+    np.add(t6, t3, out=t6)
+    np.add(t6, t5, out=t6)
+    np.add(t6, V, out=t6)
+    np.multiply(t6, 0.25, out=t6)                      # v_bar_u = v_to_u(V)
+    np.multiply(t4, t6, out=t4)
+    np.negative(t1, out=out.U)
+    np.subtract(out.U, t2, out=out.U)
+    np.subtract(out.U, t4, out=out.U)
+
+    # ---- V tendency (V-rows) ----------------------------------------------
+    sy_into(pf, 1, pstag)
+    np.add(pf, pstag, out=pstag)
+    np.multiply(pstag, 0.5, out=pstag)                 # p_v
+    sy_into(phi_p, 1, t1)
+    np.subtract(t1, phi_p, out=t1)
+    np.divide(t1, dth, out=t1)
+    np.multiply(t1, pstag[None], out=t1)
+    np.divide(t1, a, out=t1)                           # p_theta_1
+    sy_into(Phi, 1, t2)
+    np.add(Phi, t2, out=t2)
+    np.multiply(t2, 0.5, out=t2)
+    np.multiply(t2, b, out=t2)
+    sy_into(baro_b, 1, b2a)
+    np.add(baro_b, b2a, out=b2a)
+    np.multiply(b2a, 0.5, out=b2a)                     # baro_v
+    np.add(t2, b2a[None], out=t2)
+    sy_into(pes_b, 1, b2a)
+    np.add(pes_b, b2a, out=b2a)
+    np.multiply(b2a, 0.5, out=b2a)                     # pes_v
+    np.divide(t2, b2a[None], out=t2)
+    sy_into(pes_b, 1, b2a)
+    np.subtract(b2a, pes_b, out=b2a)
+    np.divide(b2a, dth, out=b2a)                       # ddy_c2v(pes)
+    np.multiply(t2, b2a[None], out=t2)
+    np.divide(t2, a, out=t2)                           # p_theta_2
+    sx_into(U, 1, t5)
+    sy_into(t5, 1, t6)
+    np.add(U, t5, out=t3)
+    sy_into(U, 1, t5)
+    np.add(t3, t5, out=t3)
+    np.add(t3, t6, out=t3)
+    np.multiply(t3, 0.25, out=t3)                      # u_bar_v = u_to_v(U)
+    np.divide(t3, pstag[None], out=t4)
+    np.multiply(t4, cache.cot_v3, out=t4)
+    np.divide(t4, a, out=t4)
+    np.add(cache.two_omega_cos_v3, t4, out=t4)         # f_star_v
+    np.multiply(t4, t3, out=t4)
+    np.negative(t1, out=out.V)
+    np.subtract(out.V, t2, out=out.V)
+    np.add(out.V, t4, out=out.V)
+
+    # ---- Phi tendency (centres) ----------------------------------------------
+    np.add(vd.w_iface[:-1], vd.w_iface[1:], out=t1)
+    np.multiply(t1, 0.5, out=t1)                       # w_mid
+    np.divide(t1, cache.sig_mid3, out=t1)
+    np.divide(vd.column_sum, pf, out=b2a)
+    np.subtract(t1, b2a[None], out=t1)                 # omega_1
+    sy_into(V, -1, t2)
+    np.add(t2, V, out=t2)
+    np.multiply(t2, 0.5, out=t2)                       # from_v(V)
+    np.divide(t2, pes_b[None], out=t2)
+    sy_into(pes_b, 1, b2a)
+    sy_into(pes_b, -1, b2b)
+    np.subtract(b2a, b2b, out=b2a)
+    np.divide(b2a, 2.0 * dth, out=b2a)                 # ddy_c2c(pes)
+    np.multiply(t2, b2a[None], out=t2)
+    np.divide(t2, a, out=t2)                           # omega_2_theta
+    sx_into(U, 1, t3)
+    np.add(U, t3, out=t3)
+    np.multiply(t3, 0.5, out=t3)                       # from_u(U)
+    np.divide(t3, pes_b[None], out=t3)
+    sx_into(pes_b, 1, b2a)
+    sx_into(pes_b, -1, b2b)
+    np.subtract(b2a, b2b, out=b2a)
+    np.divide(b2a, 2.0 * dlam, out=b2a)                # ddx_c2c(pes)
+    np.multiply(t3, b2a[None], out=t3)
+    np.divide(t3, cache.a_sin_c3, out=t3)              # omega_2_lambda
+    coeff = b * (1.0 + params.delta_c)
+    np.add(t1, t2, out=out.Phi)
+    np.add(out.Phi, t3, out=out.Phi)
+    np.multiply(out.Phi, coeff, out=out.Phi)
+
+    # ---- p'_sa tendency (surface) -----------------------------------------------
+    d_sa = surface_dissipation(psa, geom)
+    np.multiply(d_sa, constants.KAPPA_STAR, out=d_sa)
+    np.subtract(d_sa, vd.column_sum, out=d_sa)
+    np.multiply(d_sa, constants.P_REFERENCE, out=d_sa)
+    np.copyto(out.psa, d_sa)
+
+    ws.give(t1, t2, t3, t4, t5, t6, pf, pes_b, baro_b, pstag, b2a, b2b)
+    return out

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.operators.geometry import WorkingGeometry
+from repro.operators.shifts import sx_into, sy_into
 from repro.operators.staggering import (
     ddx_c2c,
     ddy_c2v,
@@ -111,13 +112,42 @@ def _l3(F: np.ndarray, sdot_iface: np.ndarray, geom: WorkingGeometry) -> np.ndar
     return dflux - 0.5 * F * dsdot
 
 
+class AdvectionGeomCache:
+    """Geometry-derived constant rows of ``L``, computed once.
+
+    Each cached value is produced by the same expression the seed path
+    evaluates per call, keeping the workspace fast path bit-identical.
+    """
+
+    def __init__(self, geom: WorkingGeometry) -> None:
+        a = geom.grid.radius
+        self.sin_c3 = geom.row3(geom.sin_c)
+        self.sin_v3 = geom.row3(geom.sin_v)
+        self.pre_c3 = 1.0 / (2.0 * a * self.sin_c3)
+        self.pre_v3 = 1.0 / (2.0 * a * self.sin_v3)
+        self.two_a_sin_c3 = 2.0 * a * self.sin_c3
+        self.two_a_sin_v3 = 2.0 * a * self.sin_v3
+        self.dsig3 = geom.lev3(geom.dsigma)
+
+
 def advection_tendency(
     state: ModelState,
     vd: VerticalDiagnostics,
     geom: WorkingGeometry,
+    ws=None,
+    out: ModelState | None = None,
+    cache: AdvectionGeomCache | None = None,
 ) -> ModelState:
     """Evaluate ``L-tilde(xi)``: the tendency ``-(L1 + L2 + L3)`` for
-    ``U``, ``V``, ``Phi`` and zero for ``p'_sa`` (Sec. 3)."""
+    ``U``, ``V``, ``Phi`` and zero for ``p'_sa`` (Sec. 3).
+
+    With ``ws`` and ``out`` given, temporaries come from the workspace
+    pool and the tendency lands in ``out`` (bit-identical; ``out`` must
+    not alias ``state``)."""
+    if ws is not None:
+        return _advection_tendency_ws(
+            state, vd, geom, ws, out, cache or AdvectionGeomCache(geom)
+        )
     U, V, Phi = state.U, state.V, state.Phi
     # P is local and fresh; only sigma-dot is taken from the frozen bundle.
     from repro import constants
@@ -161,3 +191,198 @@ def advection_tendency(
     return ModelState(
         U=tend_u, V=tend_v, Phi=tend_phi, psa=np.zeros_like(state.psa)
     )
+
+
+# ---- workspace fast path ---------------------------------------------------
+# Bit-identical transcriptions of the helpers above into preallocated
+# buffers: the same binary-operation sequence, with only scalar-factor
+# multiplies commuted (bitwise-exact in IEEE arithmetic).
+
+def _l1_ws(F, u_phys, pre_row, dlam, ws, out):
+    """``out := L1(F)``."""
+    tA = ws.take(F.shape)
+    tC = ws.take(F.shape)
+    np.multiply(F, u_phys, out=tA)
+    sx_into(tA, 1, out)
+    sx_into(tA, -1, tC)
+    np.subtract(out, tC, out=out)
+    np.divide(out, 2.0 * dlam, out=out)
+    np.multiply(out, 2.0, out=out)
+    sx_into(u_phys, 1, tA)
+    sx_into(u_phys, -1, tC)
+    np.subtract(tA, tC, out=tA)
+    np.divide(tA, 2.0 * dlam, out=tA)
+    np.multiply(F, tA, out=tA)
+    np.subtract(out, tA, out=out)
+    np.multiply(out, pre_row, out=out)
+    ws.give(tA, tC)
+
+
+def _l2_centre_ws(F, v_iface, sin_iface, denom_row, dth, ws, out):
+    """``out := L2(F)`` for a centre-row field."""
+    tA = ws.take(F.shape)
+    tB = ws.take(F.shape)
+    np.multiply(v_iface, sin_iface, out=tA)            # vs
+    sy_into(F, 1, tB)
+    np.add(F, tB, out=tB)
+    np.multiply(tB, 0.5, out=tB)                       # to_v(F)
+    np.multiply(tB, tA, out=tB)                        # flux
+    sy_into(tB, -1, out)
+    np.subtract(tB, out, out=out)
+    np.divide(out, dth, out=out)
+    np.multiply(out, 2.0, out=out)                     # 2 ddy_v2c(flux)
+    sy_into(tA, -1, tB)
+    np.subtract(tA, tB, out=tB)
+    np.divide(tB, dth, out=tB)
+    np.multiply(F, tB, out=tB)                         # F ddy_v2c(vs)
+    np.subtract(out, tB, out=out)
+    np.divide(out, denom_row, out=out)
+    ws.give(tA, tB)
+
+
+def _l2_v_ws(F, v_centre, sin_centre, denom_row, dth, ws, out):
+    """``out := L2(F)`` for a V-row field."""
+    tA = ws.take(F.shape)
+    tB = ws.take(F.shape)
+    np.multiply(v_centre, sin_centre, out=tA)          # vs
+    sy_into(F, -1, tB)
+    np.add(tB, F, out=tB)
+    np.multiply(tB, 0.5, out=tB)                       # from_v(F)
+    np.multiply(tB, tA, out=tB)                        # flux
+    sy_into(tB, 1, out)
+    np.subtract(out, tB, out=out)
+    np.divide(out, dth, out=out)
+    np.multiply(out, 2.0, out=out)                     # 2 ddy_c2v(flux)
+    sy_into(tA, 1, tB)
+    np.subtract(tB, tA, out=tB)
+    np.divide(tB, dth, out=tB)
+    np.multiply(F, tB, out=tB)                         # F ddy_c2v(vs)
+    np.subtract(out, tB, out=out)
+    np.divide(out, denom_row, out=out)
+    ws.give(tA, tB)
+
+
+def _l3_ws(F, sdot_iface, dsig3, ws, out):
+    """``out := L3(F)``."""
+    nz_w = F.shape[0]
+    fbar = ws.take(sdot_iface.shape)
+    np.add(F[:-1], F[1:], out=fbar[1:nz_w])
+    np.multiply(fbar[1:nz_w], 0.5, out=fbar[1:nz_w])
+    fbar[0] = F[0]
+    fbar[nz_w] = F[-1]
+    np.multiply(sdot_iface, fbar, out=fbar)            # flux
+    np.subtract(fbar[1:], fbar[:-1], out=out)
+    np.divide(out, dsig3, out=out)                     # dflux
+    tz2 = ws.take(F.shape)
+    tz3 = ws.take(F.shape)
+    np.subtract(sdot_iface[1:], sdot_iface[:-1], out=tz2)
+    np.divide(tz2, dsig3, out=tz2)                     # dsdot
+    np.multiply(F, 0.5, out=tz3)
+    np.multiply(tz3, tz2, out=tz3)
+    np.subtract(out, tz3, out=out)
+    ws.give(fbar, tz2, tz3)
+
+
+def _advection_tendency_ws(
+    state: ModelState,
+    vd: VerticalDiagnostics,
+    geom: WorkingGeometry,
+    ws,
+    out: ModelState,
+    cache: AdvectionGeomCache,
+) -> ModelState:
+    """Pool-backed ``L-tilde``, bit-identical to the allocating path."""
+    from repro import constants
+
+    U, V, Phi = state.U, state.V, state.Phi
+    dlam, dth = geom.grid.dlambda, geom.grid.dtheta
+    shape3 = U.shape
+    shape2 = state.psa.shape
+    sdot_c = vd.sdot_iface
+
+    # P = sqrt((psa + p0 - pt) / p0), same op chain as p_factor(psa + p0)
+    pf = ws.take(shape2)
+    np.add(state.psa, constants.P_REFERENCE, out=pf)
+    np.subtract(pf, constants.P_TOP, out=pf)
+    if np.any(pf <= 0):
+        raise ValueError("surface pressure must exceed the model-top pressure")
+    np.divide(pf, constants.P_REFERENCE, out=pf)
+    np.sqrt(pf, out=pf)
+
+    p_u2 = ws.take(shape2)
+    sx_into(pf, -1, p_u2)
+    np.add(p_u2, pf, out=p_u2)
+    np.multiply(p_u2, 0.5, out=p_u2)                   # to_u(P)
+    p_v2 = ws.take(shape2)
+    sy_into(pf, 1, p_v2)
+    np.add(pf, p_v2, out=p_v2)
+    np.multiply(p_v2, 0.5, out=p_v2)                   # to_v(P)
+
+    sdot_u = ws.take(sdot_c.shape)
+    sx_into(sdot_c, -1, sdot_u)
+    np.add(sdot_u, sdot_c, out=sdot_u)
+    np.multiply(sdot_u, 0.5, out=sdot_u)               # to_u(sdot)
+    sdot_v = ws.take(sdot_c.shape)
+    sy_into(sdot_c, 1, sdot_v)
+    np.add(sdot_c, sdot_v, out=sdot_v)
+    np.multiply(sdot_v, 0.5, out=sdot_v)               # to_v(sdot)
+
+    vel = ws.take(shape3)
+    term = ws.take(shape3)
+    b2a = ws.take(shape2)
+
+    # ---- U ------------------------------------------------------------------
+    np.divide(U, p_u2[None], out=vel)                  # u_at_u
+    _l1_ws(U, vel, cache.pre_c3, dlam, ws, out.U)
+    sx_into(V, -1, vel)
+    np.add(vel, V, out=vel)
+    np.multiply(vel, 0.5, out=vel)                     # to_u(V)
+    sx_into(p_v2, -1, b2a)
+    np.add(b2a, p_v2, out=b2a)
+    np.multiply(b2a, 0.5, out=b2a)                     # to_u(p_v)
+    np.divide(vel, b2a[None], out=vel)                 # v_iface_u
+    _l2_centre_ws(U, vel, cache.sin_v3, cache.two_a_sin_c3, dth, ws, term)
+    np.add(out.U, term, out=out.U)
+    _l3_ws(U, sdot_u, cache.dsig3, ws, term)
+    np.add(out.U, term, out=out.U)
+    np.negative(out.U, out=out.U)
+
+    # ---- V ------------------------------------------------------------------
+    t5 = ws.take(shape3)
+    t6 = ws.take(shape3)
+    sx_into(U, 1, t5)
+    sy_into(t5, 1, t6)
+    np.add(U, t5, out=vel)
+    sy_into(U, 1, t5)
+    np.add(vel, t5, out=vel)
+    np.add(vel, t6, out=vel)
+    np.multiply(vel, 0.25, out=vel)                    # u_to_v(U)
+    ws.give(t5, t6)
+    np.divide(vel, p_v2[None], out=vel)                # u_at_v
+    _l1_ws(V, vel, cache.pre_v3, dlam, ws, out.V)
+    sy_into(V, -1, vel)
+    np.add(vel, V, out=vel)
+    np.multiply(vel, 0.5, out=vel)                     # from_v(V)
+    np.divide(vel, pf[None], out=vel)                  # v_centre
+    _l2_v_ws(V, vel, cache.sin_c3, cache.two_a_sin_v3, dth, ws, term)
+    np.add(out.V, term, out=out.V)
+    _l3_ws(V, sdot_v, cache.dsig3, ws, term)
+    np.add(out.V, term, out=out.V)
+    np.negative(out.V, out=out.V)
+
+    # ---- Phi ----------------------------------------------------------------
+    sx_into(U, 1, vel)
+    np.add(U, vel, out=vel)
+    np.multiply(vel, 0.5, out=vel)                     # from_u(U)
+    np.divide(vel, pf[None], out=vel)                  # u_at_c
+    _l1_ws(Phi, vel, cache.pre_c3, dlam, ws, out.Phi)
+    np.divide(V, p_v2[None], out=vel)                  # v_iface_c
+    _l2_centre_ws(Phi, vel, cache.sin_v3, cache.two_a_sin_c3, dth, ws, term)
+    np.add(out.Phi, term, out=out.Phi)
+    _l3_ws(Phi, sdot_c, cache.dsig3, ws, term)
+    np.add(out.Phi, term, out=out.Phi)
+    np.negative(out.Phi, out=out.Phi)
+
+    out.psa[...] = 0.0
+    ws.give(pf, p_u2, p_v2, sdot_u, sdot_v, vel, term, b2a)
+    return out

@@ -16,11 +16,47 @@ from __future__ import annotations
 import numpy as np
 
 
+def roll_into(a: np.ndarray, shift: int, out: np.ndarray, axis: int) -> np.ndarray:
+    """``out[...] = np.roll(a, shift, axis)`` without allocating.
+
+    Pure data movement (two slice copies), therefore bit-identical to
+    ``np.roll``.  ``out`` must not alias ``a``.
+    """
+    n = a.shape[axis]
+    k = shift % n if n else 0
+    if k == 0:
+        out[...] = a
+        return out
+    nd = a.ndim
+    ax = axis % nd
+    lo = [slice(None)] * nd
+    hi = [slice(None)] * nd
+    lo[ax] = slice(0, k)
+    hi[ax] = slice(k, None)
+    src_lo = [slice(None)] * nd
+    src_hi = [slice(None)] * nd
+    src_lo[ax] = slice(n - k, None)
+    src_hi[ax] = slice(0, n - k)
+    out[tuple(lo)] = a[tuple(src_lo)]
+    out[tuple(hi)] = a[tuple(src_hi)]
+    return out
+
+
 def sx(a: np.ndarray, d: int) -> np.ndarray:
     """Longitude shift: ``out[..., i] = a[..., i + d]``."""
     if d == 0:
         return a
     return np.roll(a, -d, axis=-1)
+
+
+def sx_into(a: np.ndarray, d: int, out: np.ndarray) -> np.ndarray:
+    """Allocation-free :func:`sx` into ``out`` (bit-identical)."""
+    return roll_into(a, -d, out, axis=-1)
+
+
+def sy_into(a: np.ndarray, d: int, out: np.ndarray) -> np.ndarray:
+    """Allocation-free :func:`sy` into ``out`` (bit-identical)."""
+    return roll_into(a, -d, out, axis=-2)
 
 
 def sy(a: np.ndarray, d: int) -> np.ndarray:

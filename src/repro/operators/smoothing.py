@@ -35,7 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import ModelParameters
-from repro.operators.shifts import sx, sy
+from repro.operators.shifts import sx, sx_into, sy, sy_into
 from repro.state.variables import ModelState
 
 #: 4th-difference weights for offsets -2..+2.
@@ -60,6 +60,37 @@ def delta4_y(a: np.ndarray) -> np.ndarray:
     return sy(a, -2) - 4.0 * sy(a, -1) + 6.0 * a - 4.0 * sy(a, 1) + sy(a, 2)
 
 
+def _delta4_into(a: np.ndarray, out: np.ndarray, tmp: np.ndarray, shift) -> np.ndarray:
+    """``delta4_x`` / ``delta4_y`` into ``out`` using scratch ``tmp``.
+
+    Same binary-operation sequence as the allocating form, hence
+    bit-identical; ``shift`` is :func:`~repro.operators.shifts.sx_into` or
+    :func:`~repro.operators.shifts.sy_into`.
+    """
+    shift(a, -2, out)
+    shift(a, -1, tmp)
+    np.multiply(tmp, 4.0, out=tmp)
+    np.subtract(out, tmp, out=out)
+    np.multiply(a, 6.0, out=tmp)
+    np.add(out, tmp, out=out)
+    shift(a, 1, tmp)
+    np.multiply(tmp, 4.0, out=tmp)
+    np.subtract(out, tmp, out=out)
+    shift(a, 2, tmp)
+    np.add(out, tmp, out=out)
+    return out
+
+
+def delta4_x_into(a: np.ndarray, out: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+    """Allocation-free :func:`delta4_x` (bit-identical)."""
+    return _delta4_into(a, out, tmp, sx_into)
+
+
+def delta4_y_into(a: np.ndarray, out: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+    """Allocation-free :func:`delta4_y` (bit-identical)."""
+    return _delta4_into(a, out, tmp, sy_into)
+
+
 @dataclass(frozen=True)
 class FieldSmoother:
     """One field family's smoother, decomposable by y-offset.
@@ -82,6 +113,30 @@ class FieldSmoother:
             out = out + (
                 self.beta_x * self.beta_y / 256.0
             ) * delta4_y(delta4_x(a))
+        return out
+
+    def full_into(self, a: np.ndarray, out: np.ndarray, ws) -> np.ndarray:
+        """Allocation-free :meth:`full` into ``out`` (bit-identical).
+
+        Reuses the ``delta4_x`` evaluation for the cross term — the seed
+        path computes it twice; the value (and therefore the result) is
+        identical, only the redundant work is dropped.
+        """
+        dx = ws.take(a.shape)
+        tmp = ws.take(a.shape)
+        t2 = ws.take(a.shape)
+        delta4_x_into(a, dx, tmp)
+        np.multiply(dx, self.beta_x / 16.0, out=out)
+        np.subtract(a, out, out=out)
+        if self.beta_y:
+            delta4_y_into(a, t2, tmp)
+            np.multiply(t2, self.beta_y / 16.0, out=t2)
+            np.subtract(out, t2, out=out)
+        if self.cross:
+            delta4_y_into(dx, t2, tmp)
+            np.multiply(t2, self.beta_x * self.beta_y / 256.0, out=t2)
+            np.add(out, t2, out=out)
+        ws.give(dx, tmp, t2)
         return out
 
     def offset_term(self, a: np.ndarray, m: int) -> np.ndarray:
@@ -166,3 +221,23 @@ def smooth_state(state: ModelState, params: ModelParameters) -> ModelState:
         Phi=sm["Phi"].full(state.Phi),
         psa=sm["psa"].full(state.psa),
     )
+
+
+def smooth_state_into(
+    state: ModelState,
+    params: ModelParameters,
+    out: ModelState,
+    ws,
+    smoothers: dict[str, FieldSmoother] | None = None,
+) -> ModelState:
+    """Allocation-free :func:`smooth_state` into ``out`` (bit-identical).
+
+    ``out`` must not alias ``state`` (the smoother stencils read
+    neighbours of every point they write).
+    """
+    sm = smoothers or smoothers_for(params)
+    sm["U"].full_into(state.U, out.U, ws)
+    sm["V"].full_into(state.V, out.V, ws)
+    sm["Phi"].full_into(state.Phi, out.Phi, ws)
+    sm["psa"].full_into(state.psa, out.psa, ws)
+    return out

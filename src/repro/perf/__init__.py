@@ -10,6 +10,13 @@ from repro.perf.model import (
     PAPER_PROC_SWEEP,
     PerformanceModel,
 )
+from repro.perf.wallclock import (
+    SCHEMA_VERSION as BENCH_SCHEMA_VERSION,
+    compare_reports,
+    load_report,
+    run_benchmarks,
+    write_report,
+)
 
 __all__ = [
     "ComputeWeights",
@@ -22,4 +29,9 @@ __all__ = [
     "DEFAULT_CALIBRATION",
     "PAPER_PROC_SWEEP",
     "PerformanceModel",
+    "BENCH_SCHEMA_VERSION",
+    "compare_reports",
+    "load_report",
+    "run_benchmarks",
+    "write_report",
 ]

@@ -31,7 +31,7 @@ reduction vs X-Y at p = 512; 46,300 s saved vs Y-Z at p = 1024); the
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.constants import ModelParameters
 from repro.grid.decomposition import (

@@ -1,0 +1,265 @@
+"""Wall-clock benchmark harness for the executed cores.
+
+Unlike :mod:`repro.perf.model` (the paper's *analytic* cost model, in
+simulated-machine seconds), this module measures real elapsed time of the
+executed kernels and integrators on fixed meshes with pinned seeds, and
+emits a schema-versioned JSON artifact that CI archives and gates on:
+
+* per-kernel timings of the serial hot path (``C`` / adaptation /
+  advection / smoothing), seed path vs workspace path;
+* end-to-end step throughput of the serial core and the distributed rank
+  programs (original-yz and CA on the simulated cluster);
+* workspace allocation counters (fresh vs reused buffers), which make the
+  "zero steady-state allocations" claim measurable.
+
+The regression gate compares the current report's step throughput
+against a committed baseline and fails on slowdowns beyond a tolerance;
+speedups just move the baseline the next time it is refreshed.
+"""
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+#: pinned RNG seed of the benchmark initial states
+BENCH_SEED = 1234
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """A fixed benchmark mesh."""
+
+    name: str
+    nx: int
+    ny: int
+    nz: int
+    nsteps: int  # timed steps for throughput cases
+
+
+SMALL = MeshSpec("small", 32, 16, 6, nsteps=5)
+MEDIUM = MeshSpec("medium", 72, 36, 12, nsteps=8)
+#: CA needs ny/p_y > 3M + 2 halo rows, hence the taller mesh
+CA_SMALL = MeshSpec("ca-small", 32, 32, 6, nsteps=5)
+
+MESHES = {m.name: m for m in (SMALL, MEDIUM, CA_SMALL)}
+
+
+def _grid(mesh: MeshSpec):
+    from repro.grid.latlon import LatLonGrid
+
+    return LatLonGrid(nx=mesh.nx, ny=mesh.ny, nz=mesh.nz)
+
+
+def _initial(grid):
+    from repro.physics.initial import balanced_random_state
+
+    return balanced_random_state(grid, np.random.default_rng(BENCH_SEED))
+
+
+# ---------------------------------------------------------------------------
+# serial step throughput (seed path vs workspace path)
+# ---------------------------------------------------------------------------
+def bench_serial(mesh: MeshSpec, repeats: int = 1) -> dict:
+    """Time the serial core on ``mesh``; returns the case record."""
+    from repro.core.integrator import SerialCore
+
+    grid = _grid(mesh)
+    s0 = _initial(grid)
+
+    def run(use_ws: bool) -> tuple[float, SerialCore]:
+        best = float("inf")
+        core = None
+        for _ in range(repeats):
+            core = SerialCore(grid, use_workspace=use_ws)
+            w = core.pad(s0)
+            w = core.step(w)  # warmup: pool fill, code paths hot
+            t0 = time.perf_counter()
+            for _ in range(mesh.nsteps):
+                w = core.step(w)
+            best = min(best, (time.perf_counter() - t0) / mesh.nsteps)
+        return best, core
+
+    t_seed, _ = run(False)
+    t_ws, core = run(True)
+    return {
+        "kind": "serial_step",
+        "mesh": mesh.name,
+        "shape": [mesh.nz, mesh.ny, mesh.nx],
+        "timed_steps": mesh.nsteps,
+        "seed_ms_per_step": t_seed * 1e3,
+        "ws_ms_per_step": t_ws * 1e3,
+        "speedup": t_seed / t_ws,
+        "steps_per_sec": 1.0 / t_ws,
+        "allocations": {
+            "fresh": core.ws.fresh_allocations,
+            "reuses": core.ws.reuses,
+            "pooled_bytes": core.ws.pooled_bytes,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# per-kernel timings on the serial engine
+# ---------------------------------------------------------------------------
+def bench_kernels(mesh: MeshSpec, inner: int = 5) -> dict:
+    """Time each hot-path kernel in isolation, both code paths."""
+    from repro.core.integrator import SerialCore
+    from repro.operators.smoothing import smooth_state, smooth_state_into
+
+    grid = _grid(mesh)
+    s0 = _initial(grid)
+
+    def timed(fn) -> float:
+        fn()  # warmup
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        return (time.perf_counter() - t0) / inner * 1e3  # ms
+
+    kernels: dict[str, dict[str, float]] = {}
+    for label, use_ws in (("seed", False), ("ws", True)):
+        core = SerialCore(grid, use_workspace=use_ws)
+        eng = core.engine
+        w = core.pad(s0)
+        vd = eng.vertical(w)
+        rec = {
+            "vertical": timed(lambda: eng.vertical(w)),
+            "adaptation": timed(lambda: eng.adaptation(w, vd)),
+            "advection": timed(lambda: eng.advection(w, vd)),
+        }
+        if use_ws:
+            out = core._ring.scratch(w)
+            rec["smoothing"] = timed(
+                lambda: smooth_state_into(
+                    w, core.params, out, core.ws, core._smoothers
+                )
+            )
+        else:
+            rec["smoothing"] = timed(lambda: smooth_state(w, core.params))
+        for name, ms in rec.items():
+            kernels.setdefault(name, {})[f"{label}_ms"] = ms
+    for rec in kernels.values():
+        rec["speedup"] = rec["seed_ms"] / rec["ws_ms"]
+    return {"kind": "kernels", "mesh": mesh.name, "kernels": kernels}
+
+
+# ---------------------------------------------------------------------------
+# distributed rank programs on the simulated cluster
+# ---------------------------------------------------------------------------
+def bench_core(mesh: MeshSpec, algorithm: str, nprocs: int, nsteps: int) -> dict:
+    """Wall-clock one distributed run (executed numerics, simulated comm).
+
+    The measured time includes the launcher's thread scheduling, so this
+    is a *pipeline* throughput number, not a projection of cluster
+    performance — that is :mod:`repro.perf.model`'s job.
+    """
+    from repro.core.driver import DynamicalCore
+
+    grid = _grid(mesh)
+    s0 = _initial(grid)
+    times = {}
+    for label, use_ws in (("seed", False), ("ws", True)):
+        core = DynamicalCore(
+            grid, algorithm=algorithm, nprocs=nprocs, use_workspace=use_ws
+        )
+        core.run(s0, 1)  # warmup
+        t0 = time.perf_counter()
+        _, diag = core.run(s0, nsteps)
+        times[label] = (time.perf_counter() - t0) / nsteps
+    return {
+        "kind": "distributed_step",
+        "mesh": mesh.name,
+        "algorithm": algorithm,
+        "nprocs": nprocs,
+        "timed_steps": nsteps,
+        "seed_ms_per_step": times["seed"] * 1e3,
+        "ws_ms_per_step": times["ws"] * 1e3,
+        "speedup": times["seed"] / times["ws"],
+        "steps_per_sec": 1.0 / times["ws"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# report assembly / IO / regression gate
+# ---------------------------------------------------------------------------
+def run_benchmarks(quick: bool = False, repeats: int = 1) -> dict:
+    """The full benchmark suite; ``quick`` trims it to CI size."""
+    meshes = [SMALL] if quick else [SMALL, MEDIUM]
+    cases = []
+    for mesh in meshes:
+        cases.append(bench_serial(mesh, repeats=repeats))
+    cases.append(bench_kernels(SMALL if quick else MEDIUM))
+    dist_steps = 1 if quick else 2
+    cases.append(bench_core(SMALL, "original-yz", 2, dist_steps))
+    cases.append(bench_core(CA_SMALL, "ca", 2, dist_steps))
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "bench_seed": BENCH_SEED,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "cases": cases,
+    }
+
+
+def case_key(case: dict) -> str:
+    """Stable identity of a case across reports."""
+    parts = [case["kind"], case["mesh"]]
+    if "algorithm" in case:
+        parts += [case["algorithm"], str(case["nprocs"])]
+    return ":".join(parts)
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    report = json.loads(Path(path).read_text())
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"benchmark schema {version!r} unsupported "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return report
+
+
+def compare_reports(
+    current: dict, baseline: dict, tolerance: float = 0.2
+) -> list[str]:
+    """Regressions of ``current`` vs ``baseline``.
+
+    A case regresses when its step throughput drops more than
+    ``tolerance`` (fractional) below the baseline's.  Cases present in
+    only one report are ignored (the gate must not block adding or
+    retiring benchmarks), as are kernel breakdowns (micro-timings are too
+    noisy for shared CI runners; the throughput cases gate).
+    """
+    base_by_key = {case_key(c): c for c in baseline["cases"]}
+    regressions = []
+    for case in current["cases"]:
+        ref = base_by_key.get(case_key(case))
+        if ref is None or "steps_per_sec" not in case:
+            continue
+        cur, old = case["steps_per_sec"], ref["steps_per_sec"]
+        if cur < old * (1.0 - tolerance):
+            regressions.append(
+                f"{case_key(case)}: {cur:.3f} steps/s vs baseline "
+                f"{old:.3f} (-{(1.0 - cur / old) * 100.0:.1f}%, "
+                f"tolerance {tolerance * 100.0:.0f}%)"
+            )
+    return regressions

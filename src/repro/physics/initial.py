@@ -10,7 +10,6 @@ import numpy as np
 
 from repro import constants
 from repro.grid.latlon import LatLonGrid
-from repro.state.standard_atmosphere import StandardAtmosphere
 from repro.state.variables import ModelState
 
 

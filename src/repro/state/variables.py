@@ -115,6 +115,26 @@ class ModelState:
         self.psa += alpha * other.psa
         return self
 
+    def axpy_into(
+        self, alpha: float, other: "ModelState", out: "ModelState"
+    ) -> "ModelState":
+        """Allocation-free :meth:`axpy` into the preallocated ``out``.
+
+        Bit-identical to ``self + alpha * other``; ``out`` may alias
+        ``other`` but not ``self``.
+        """
+        for name in FIELD_NAMES:
+            s, o, t = getattr(self, name), getattr(other, name), getattr(out, name)
+            np.multiply(o, alpha, out=t)
+            np.add(s, t, out=t)
+        return out
+
+    def copy_into(self, out: "ModelState") -> "ModelState":
+        """Copy this state's fields into the preallocated ``out``."""
+        for name in FIELD_NAMES:
+            np.copyto(getattr(out, name), getattr(self, name))
+        return out
+
     @staticmethod
     def midpoint(a: "ModelState", b: "ModelState") -> "ModelState":
         """``(a + b) / 2`` — the third internal update of Algorithm 1."""
@@ -122,6 +142,17 @@ class ModelState:
             0.5 * (a.U + b.U), 0.5 * (a.V + b.V),
             0.5 * (a.Phi + b.Phi), 0.5 * (a.psa + b.psa),
         )
+
+    @staticmethod
+    def midpoint_into(
+        a: "ModelState", b: "ModelState", out: "ModelState"
+    ) -> "ModelState":
+        """Allocation-free :meth:`midpoint`; ``out`` may alias ``a`` or ``b``."""
+        for name in FIELD_NAMES:
+            x, y, t = getattr(a, name), getattr(b, name), getattr(out, name)
+            np.add(x, y, out=t)
+            np.multiply(t, 0.5, out=t)
+        return out
 
     # ---- field access ------------------------------------------------------
     def fields(self) -> dict[str, np.ndarray]:

@@ -1,7 +1,5 @@
 """Energy diagnostics, lower bounds and the Sec. 5.3 formulas."""
-import math
 
-import numpy as np
 import pytest
 
 from repro.analysis.energy import energy_budget, global_mean_psa

@@ -5,7 +5,7 @@ import pytest
 from repro.constants import ModelParameters
 from repro.core.distributed import DistributedConfig, original_rank_program
 from repro.core.integrator import SerialCore
-from repro.grid.decomposition import BlockExtent, Decomposition
+from repro.grid.decomposition import Decomposition
 from repro.grid.latlon import LatLonGrid
 from repro.grid.sigma import SigmaLevels
 from repro.operators.geometry import WorkingGeometry

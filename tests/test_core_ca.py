@@ -4,7 +4,6 @@ Correctness contract: CA == the serial core with the approximate nonlinear
 iteration, on every feasible Y-Z decomposition; plus the communication
 schedule claims (2 exchanges per step, 2M z-collectives per step).
 """
-import numpy as np
 import pytest
 
 from repro.constants import ModelParameters

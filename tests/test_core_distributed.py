@@ -1,5 +1,4 @@
 """Distributed Algorithm 1 == serial reference, on every decomposition."""
-import numpy as np
 import pytest
 
 from repro.core.distributed import DistributedConfig, original_rank_program

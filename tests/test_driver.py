@@ -1,5 +1,4 @@
 """The DynamicalCore facade."""
-import numpy as np
 import pytest
 
 from repro.core.driver import CoreConfig, DynamicalCore

@@ -8,15 +8,14 @@ import pytest
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 CASES = [
-    ("quickstart.py", ["--steps", "3", "--nx", "32", "--ny", "16", "--nz", "6"]),
-    ("held_suarez_climate.py", ["--days", "0.05", "--nx", "32", "--ny", "16",
-                                "--nz", "6", "--spinup-days", "0.02"]),
-    ("decomposition_study.py", ["--nprocs", "4", "--steps", "1"]),
-    ("ca_vs_original.py", ["--steps", "2", "--nprocs", "4"]),
-    ("lamb_wave.py", ["--steps", "8"]),
-    ("timeline_trace.py", ["--steps", "1", "--nprocs", "4"]),
-    ("approximation_error.py", ["--steps", "1"]),
-    ("fault_tolerance.py", ["--steps", "3", "--nprocs", "4"]),
+    ("quickstart.py", ["--quick"]),
+    ("held_suarez_climate.py", ["--quick"]),
+    ("decomposition_study.py", ["--quick"]),
+    ("ca_vs_original.py", ["--quick"]),
+    ("lamb_wave.py", ["--quick"]),
+    ("timeline_trace.py", ["--quick"]),
+    ("approximation_error.py", ["--quick"]),
+    ("fault_tolerance.py", ["--quick"]),
 ]
 
 

@@ -2,7 +2,7 @@
 import numpy as np
 import pytest
 
-from repro.simmpi import DeadlockError, SpmdError, run_spmd
+from repro.simmpi import SpmdError, run_spmd
 
 
 class TestSubstrateFailures:

@@ -1,6 +1,5 @@
 """The footprint prober itself."""
 import numpy as np
-import pytest
 
 from repro.operators.footprint import Footprint, probe_footprint
 from repro.operators.shifts import sx, sy, sz

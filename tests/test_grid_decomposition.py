@@ -3,7 +3,6 @@ import numpy as np
 import pytest
 
 from repro.grid.decomposition import (
-    BlockExtent,
     Decomposition,
     balanced_partition,
     best_2d_factorization,

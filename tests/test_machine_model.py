@@ -1,5 +1,4 @@
 """Direct unit tests of the machine-model cost formulas."""
-import math
 
 import pytest
 

@@ -10,8 +10,6 @@ from repro.constants import ModelParameters
 from repro.core.comm_avoiding import ca_rank_program
 from repro.core.distributed import DistributedConfig, original_rank_program
 from repro.core.operator_form import (
-    COMM_COLLECTIVE_X,
-    COMM_COLLECTIVE_Z,
     render_flow,
     step_schedule,
 )

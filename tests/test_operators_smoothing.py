@@ -12,7 +12,6 @@ from repro.operators.smoothing import (
     OFFSETS_R,
     OFFSETS_R_PRIME,
     delta4_x,
-    delta4_y,
     p1,
     p2,
     smooth_full,

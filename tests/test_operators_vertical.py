@@ -4,7 +4,6 @@ import pytest
 
 from repro import constants
 from repro.grid.decomposition import BlockExtent
-from repro.grid.latlon import LatLonGrid
 from repro.grid.sigma import SigmaLevels
 from repro.operators.geometry import WorkingGeometry
 from repro.operators.vertical import (

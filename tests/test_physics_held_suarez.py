@@ -2,8 +2,6 @@
 import numpy as np
 import pytest
 
-from repro import constants
-from repro.constants import ModelParameters
 from repro.grid.sigma import SigmaLevels
 from repro.operators.geometry import WorkingGeometry
 from repro.physics import (
@@ -13,7 +11,6 @@ from repro.physics import (
     rest_state,
 )
 from repro.physics.held_suarez import DAY
-from repro.state.variables import ModelState
 
 
 @pytest.fixture

@@ -1,5 +1,4 @@
 """Checkpoint/restart resilience of the dynamical-core driver."""
-import numpy as np
 import pytest
 
 from repro.constants import ModelParameters

@@ -2,7 +2,7 @@
 import numpy as np
 import pytest
 
-from repro.simmpi import DeadlockError, MachineModel, run_spmd
+from repro.simmpi import MachineModel, run_spmd
 
 
 class TestBasicMessaging:

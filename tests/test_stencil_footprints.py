@@ -24,7 +24,6 @@ from repro.operators.stencil_meta import (
     TABLE1_ADAPTATION,
     TABLE2_ADVECTION,
     TABLE3_SMOOTHING,
-    max_radii,
     render_table,
 )
 from repro.state.variables import ModelState

@@ -1,5 +1,4 @@
 """Parameter sweeps and load-imbalance diagnostics."""
-import numpy as np
 import pytest
 
 from repro.analysis.imbalance import compare_decompositions, filter_imbalance

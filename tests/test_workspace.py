@@ -1,0 +1,216 @@
+"""Workspace pool unit tests + bit-identity of the pooled fast paths.
+
+The contract of the performance pass is *exact* reproducibility: with
+``use_workspace=True`` (the default) every core must produce the same
+bits as the seed allocating implementation, for multi-step trajectories,
+on every algorithm variant.  These tests assert ``==`` equality, not
+``allclose``.
+"""
+import numpy as np
+import pytest
+
+from repro.core.driver import DynamicalCore
+from repro.core.integrator import SerialCore
+from repro.core.workspace import StateRing, Workspace
+from repro.grid.latlon import LatLonGrid
+from repro.operators.shifts import roll_into
+from repro.physics.initial import balanced_random_state, perturbed_rest_state
+from repro.state.variables import ModelState
+
+
+# ---------------------------------------------------------------------------
+# Workspace pool mechanics
+# ---------------------------------------------------------------------------
+class TestWorkspacePool:
+    def test_take_give_recycles_by_shape(self):
+        ws = Workspace()
+        a = ws.take((3, 4))
+        ws.give(a)
+        b = ws.take((3, 4))
+        assert b is a
+        assert ws.fresh_allocations == 1
+        assert ws.reuses == 1
+
+    def test_distinct_shapes_do_not_mix(self):
+        ws = Workspace()
+        a = ws.take((3, 4))
+        ws.give(a)
+        b = ws.take((4, 3))
+        assert b is not a
+        assert ws.fresh_allocations == 2
+
+    def test_dtype_keys_separate(self):
+        ws = Workspace()
+        a = ws.take((5,), np.float64)
+        ws.give(a)
+        b = ws.take((5,), np.float32)
+        assert b.dtype == np.float32
+        assert b is not a
+
+    def test_double_give_rejected(self):
+        ws = Workspace()
+        a = ws.take((2, 2))
+        ws.give(a)
+        with pytest.raises(ValueError, match="double give"):
+            ws.give(a)
+
+    def test_view_rejected(self):
+        ws = Workspace()
+        a = ws.take((4, 4))
+        with pytest.raises(ValueError, match="view"):
+            ws.give(a[1:])
+
+    def test_pooled_bytes_counts_parked_buffers(self):
+        ws = Workspace()
+        a = ws.take((10, 10))
+        assert ws.pooled_bytes == 0
+        ws.give(a)
+        assert ws.pooled_bytes == a.nbytes
+
+    def test_state_round_trip(self):
+        ws = Workspace()
+        s = ws.take_state((2, 3, 4))
+        assert s.U.shape == (2, 3, 4) and s.psa.shape == (3, 4)
+        ws.give_state(s)
+        t = ws.take_state((2, 3, 4))
+        # the pool is LIFO per (shape, dtype): the same buffers come back,
+        # though not necessarily in the same field slots
+        assert {id(t.U), id(t.V), id(t.Phi)} == {id(s.U), id(s.V), id(s.Phi)}
+        assert t.psa is s.psa
+
+
+class TestStateRing:
+    def test_scratch_skips_live_states(self):
+        ws = Workspace()
+        ring = StateRing(ws, (2, 3, 4), size=3)
+        a = ring.scratch()
+        b = ring.scratch(a)
+        c = ring.scratch(a, b)
+        assert len({id(a), id(b), id(c)}) == 3
+
+    def test_exhaustion_raises(self):
+        ws = Workspace()
+        ring = StateRing(ws, (2, 3, 4), size=2)
+        a = ring.scratch()
+        b = ring.scratch(a)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            ring.scratch(a, b)
+
+
+class TestRollInto:
+    @pytest.mark.parametrize("shift", [-3, -1, 0, 1, 2, 5, 7])
+    @pytest.mark.parametrize("axis", [-1, -2, 0])
+    def test_matches_np_roll(self, shift, axis):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 5, 7))
+        out = np.empty_like(a)
+        roll_into(a, shift, out, axis=axis)
+        np.testing.assert_array_equal(out, np.roll(a, shift, axis=axis))
+
+
+# ---------------------------------------------------------------------------
+# bit-identity of full multi-step trajectories, ws vs seed path
+# ---------------------------------------------------------------------------
+def _initial(grid: LatLonGrid) -> ModelState:
+    rng = np.random.default_rng(1234)
+    return balanced_random_state(grid, rng)
+
+
+def _assert_states_identical(a: ModelState, b: ModelState, label: str) -> None:
+    for name in ("U", "V", "Phi", "psa"):
+        xa, xb = getattr(a, name), getattr(b, name)
+        assert np.array_equal(xa, xb), (
+            f"{label}: field {name} differs "
+            f"(max |diff| = {np.abs(xa - xb).max():.3e})"
+        )
+
+
+@pytest.mark.parametrize("approximate_c", [False, True])
+def test_serial_bit_identical(approximate_c):
+    grid = LatLonGrid(nx=24, ny=12, nz=4)
+    s0 = _initial(grid)
+    seed = SerialCore(grid, approximate_c=approximate_c, use_workspace=False)
+    fast = SerialCore(grid, approximate_c=approximate_c, use_workspace=True)
+    out_seed = seed.run(s0, 4)
+    out_fast = fast.run(s0, 4)
+    _assert_states_identical(
+        out_seed, out_fast, f"serial(approximate_c={approximate_c})"
+    )
+    # same C-collective schedule on both paths
+    assert fast.c_calls == seed.c_calls
+
+
+def test_serial_pool_converges():
+    """Steady state performs zero heap allocations on the step hot path."""
+    grid = LatLonGrid(nx=24, ny=12, nz=4)
+    core = SerialCore(grid, use_workspace=True)
+    w = core.pad(_initial(grid))
+    w = core.step(w)
+    w = core.step(w)
+    fresh_before = core.ws.fresh_allocations
+    w = core.step(w)
+    assert core.ws.fresh_allocations == fresh_before
+    assert core.ws.reuses > 0
+
+
+@pytest.mark.parametrize(
+    "algorithm,nprocs,grid_kw",
+    [
+        ("original-yz", 4, dict(nx=24, ny=16, nz=4)),
+        ("original-xy", 4, dict(nx=24, ny=16, nz=4)),
+        ("original-3d", 4, dict(nx=24, ny=16, nz=4)),
+        ("ca", 2, dict(nx=24, ny=32, nz=4)),
+    ],
+)
+def test_distributed_bit_identical(algorithm, nprocs, grid_kw):
+    grid = LatLonGrid(**grid_kw)
+    s0 = _initial(grid)
+    seed = DynamicalCore(
+        grid, algorithm=algorithm, nprocs=nprocs, use_workspace=False
+    )
+    fast = DynamicalCore(
+        grid, algorithm=algorithm, nprocs=nprocs, use_workspace=True
+    )
+    out_seed, diag_seed = seed.run(s0, 3)
+    out_fast, diag_fast = fast.run(s0, 3)
+    _assert_states_identical(out_seed, out_fast, algorithm)
+    assert diag_fast.c_calls == diag_seed.c_calls
+    assert diag_fast.exchanges == diag_seed.exchanges
+
+
+def test_scan_variant_bit_identical():
+    """The scan-based C collective (whose bundles contain views) composes
+    with the pool and matches its seed path bitwise."""
+    from repro.core.distributed import DistributedConfig, original_rank_program
+    from repro.grid.decomposition import Decomposition
+    from repro.simmpi import run_spmd
+
+    grid = LatLonGrid(nx=16, ny=16, nz=8)
+    s0 = _initial(grid)
+    decomp = Decomposition(grid.nx, grid.ny, grid.nz, 1, 2, 2)
+    outs = {}
+    for use_ws in (False, True):
+        cfg = DistributedConfig(
+            grid=grid, decomp=decomp, nsteps=2, c_method="scan",
+            use_workspace=use_ws,
+        )
+        result = run_spmd(decomp.nranks, original_rank_program, cfg, s0)
+        blocks = [r.state for r in result.results]
+        outs[use_ws] = ModelState(
+            U=decomp.gather([b.U for b in blocks]),
+            V=decomp.gather([b.V for b in blocks]),
+            Phi=decomp.gather([b.Phi for b in blocks]),
+            psa=decomp.gather([b.psa for b in blocks]),
+        )
+    _assert_states_identical(outs[False], outs[True], "original-yz(scan)")
+
+
+def test_forced_run_bit_identical():
+    """Forcing hooks compose with the ring rotation (Held-Suarez path)."""
+    from repro.physics.held_suarez import HeldSuarezForcing
+
+    grid = LatLonGrid(nx=24, ny=12, nz=4)
+    s0 = perturbed_rest_state(grid)
+    seed = SerialCore(grid, forcing=HeldSuarezForcing(), use_workspace=False)
+    fast = SerialCore(grid, forcing=HeldSuarezForcing(), use_workspace=True)
+    _assert_states_identical(seed.run(s0, 3), fast.run(s0, 3), "serial+HS")
