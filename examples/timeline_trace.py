@@ -9,7 +9,12 @@ visible.
 
 Usage::
 
-    python examples/timeline_trace.py [--steps 1] [--nprocs 4]
+    python examples/timeline_trace.py [--steps 1] [--nprocs 4] \
+        [--chrome-trace out.json]
+
+``--chrome-trace`` additionally exports both timelines to one
+Chrome-trace JSON (open in ``chrome://tracing`` or
+https://ui.perfetto.dev), one process lane per algorithm.
 """
 import argparse
 
@@ -17,6 +22,7 @@ from repro.constants import ModelParameters
 from repro.core.comm_avoiding import ca_rank_program
 from repro.core.distributed import DistributedConfig, original_rank_program
 from repro.grid import Decomposition, LatLonGrid
+from repro.obs.exporters import logical_events, write_chrome_trace
 from repro.physics import perturbed_rest_state
 from repro.simmpi import MachineModel, run_spmd
 from repro.simmpi.trace import busy_fraction, render_gantt
@@ -36,6 +42,8 @@ def main() -> None:
     parser.add_argument("--width", type=int, default=72)
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized run (overrides size flags)")
+    parser.add_argument("--chrome-trace", metavar="OUT.json", default=None,
+                        help="export both timelines to a Chrome-trace JSON")
     args = parser.parse_args()
     if args.quick:
         args.steps = 1
@@ -53,10 +61,11 @@ def main() -> None:
         decomp = yz_decomposition(grid.nx, grid.ny, grid.nz, args.nprocs)
     state0 = perturbed_rest_state(grid, amplitude_k=2.0)
 
-    for name, program in (
+    chrome_events = []
+    for pid, (name, program) in enumerate((
         ("original (Y-Z, Algorithm 1)", original_rank_program),
         ("communication-avoiding (Algorithm 2)", ca_rank_program),
-    ):
+    ), start=1):
         cfg = DistributedConfig(
             grid=grid, decomp=decomp, params=params, nsteps=args.steps,
         )
@@ -73,6 +82,15 @@ def main() -> None:
                 f"collective {100 * busy_fraction(rec, 'collective'):.0f}%  "
                 f"recv-wait {100 * busy_fraction(rec, 'recv_wait'):.0f}%"
             )
+        if args.chrome_trace:
+            chrome_events.extend(
+                logical_events(res.traces, pid=pid, process_name=name)
+            )
+
+    if args.chrome_trace:
+        out = write_chrome_trace(args.chrome_trace, chrome_events)
+        print(f"\nChrome trace written to {out} "
+              f"(open in chrome://tracing or https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ from repro.core.distributed import (
     RankResult,
 )
 from repro.core.workspace import StateRing
+from repro.obs.spans import span
 from repro.operators.smoothing import (
     OFFSETS_L,
     OFFSETS_L_PRIME,
@@ -290,139 +291,155 @@ def ca_rank_program(
         return ring.scratch(*live) if ring is not None else None
 
     for _step in range(cfg.nsteps):
-        # ---- fused smoothing + adaptation exchange (1st of 2 per step) ----
-        # Algorithm 2 lines 4-12: the smoothing belongs to the *previous*
-        # step and is skipped on the first one (k = 1).
-        if ring is not None:
-            pre = xi_pre.copy_into(ring.scratch(xi_pre))
-        else:
-            pre = xi_pre.copy()
-        smoothed = (
-            None if first_step else ctx.former_smoothing(pre, out=scr(pre))
-        )
-
-        comm.set_phase(PHASE_STENCIL)
-        pending = ctx.halo.start(state_fields(pre))
-        comm.set_phase(None)
-        bundle_pending = None
-        if ctx.vd_stale is not None:
-            bundle_pending = ctx.start_bundle_exchange(ctx.vd_stale, wy=ctx.geom.gy)
-
-        # overlap: the inner-block part of the first internal update is
-        # computed while the exchange is in flight (Sec. 4.3.1)
-        overlap = cfg.ca_overlap
-        if overlap:
-            ctx.charge_inner(W.adaptation)
-
-        comm.set_phase(PHASE_STENCIL)
-        ctx.halo.finish(pending, state_fields(pre))
-        comm.set_phase(None)
-        ctx.exchanges += 1
-        if bundle_pending is not None:
-            ctx.finish_bundle_exchange(ctx.vd_stale, ctx.geom.gy, bundle_pending)
-        ctx.fill_bc(pre)
-
-        if smoothed is None:
-            psi = pre
-        else:
-            ctx.later_smoothing(smoothed, pre)
-            ctx.fill_bc(smoothed)
-            psi = smoothed
-            if cfg.forcing is not None:
-                # forcing of the *previous* step, applied after its smoothing
-                cfg.forcing(psi, ctx.geom, dt2)
-                ctx.fill_bc(psi)
-
-        # ---- M nonlinear iterations, 3 internal updates each ----
-        for i in range(M):
-            if cfg.ca_approximate_c and ctx.vd_stale is not None:
-                vd1 = ctx.vd_stale  # C(psi^{i-2}) + O(dt1): no collective
+        with span("step", "step"):
+            # ---- fused smoothing + adaptation exchange (1st of 2 per step) ----
+            # Algorithm 2 lines 4-12: the smoothing belongs to the *previous*
+            # step and is skipped on the first one (k = 1).
+            if ring is not None:
+                pre = xi_pre.copy_into(ring.scratch(xi_pre))
             else:
-                vd1 = ctx.vertical_fresh(psi)  # fresh (cold start / ablation)
-                ctx.vd_stale = vd1
-            if i == 0 and overlap:
-                # the overlapped inner part was charged before the wait;
-                # charge only the remainder here
-                ctx.charge_outer(W.adaptation)
-            else:
-                ctx.charge(W.adaptation, ctx._wpoints)
-            eta1 = _adaptation_update(ctx, psi, psi, vd1, dt1, scr(psi))
-
-            vd2 = ctx.vertical_fresh(eta1)
-            ctx.vd_stale = vd2
-            ctx.charge(W.adaptation, ctx._wpoints)
-            eta2 = _adaptation_update(
-                ctx, eta1, psi, vd2, dt1, scr(psi, eta1)
+                pre = xi_pre.copy()
+            smoothed = (
+                None if first_step else ctx.former_smoothing(pre, out=scr(pre))
             )
 
-            if ring is not None:
-                mid = ModelState.midpoint_into(
-                    psi, eta2, ring.scratch(psi, eta2)
-                )
+            with span("halo-exchange", "comm"):
+                comm.set_phase(PHASE_STENCIL)
+                pending = ctx.halo.start(state_fields(pre))
+                comm.set_phase(None)
+                bundle_pending = None
+                if ctx.vd_stale is not None:
+                    bundle_pending = ctx.start_bundle_exchange(
+                        ctx.vd_stale, wy=ctx.geom.gy
+                    )
+
+                # overlap: the inner-block part of the first internal update is
+                # computed while the exchange is in flight (Sec. 4.3.1)
+                overlap = cfg.ca_overlap
+                if overlap:
+                    ctx.charge_inner(W.adaptation)
+
+                comm.set_phase(PHASE_STENCIL)
+                ctx.halo.finish(pending, state_fields(pre))
+                comm.set_phase(None)
+                ctx.exchanges += 1
+                if bundle_pending is not None:
+                    ctx.finish_bundle_exchange(
+                        ctx.vd_stale, ctx.geom.gy, bundle_pending
+                    )
+                ctx.fill_bc(pre)
+
+            if smoothed is None:
+                psi = pre
             else:
-                mid = ModelState.midpoint(psi, eta2)
-            vd3 = ctx.vertical_fresh(mid)
-            ctx.vd_stale = vd3
-            ctx.charge(W.adaptation, ctx._wpoints)
-            psi = _adaptation_update(ctx, mid, psi, vd3, dt1, scr(psi, mid))
-            ctx.charge(W.update, 3 * ctx._wpoints)
+                ctx.later_smoothing(smoothed, pre)
+                ctx.fill_bc(smoothed)
+                psi = smoothed
+                if cfg.forcing is not None:
+                    # forcing of the *previous* step, applied after its smoothing
+                    cfg.forcing(psi, ctx.geom, dt2)
+                    ctx.fill_bc(psi)
 
-        vd_frozen = ctx.vd_stale
+            # ---- M nonlinear iterations, 3 internal updates each ----
+            for i in range(M):
+                if cfg.ca_approximate_c and ctx.vd_stale is not None:
+                    vd1 = ctx.vd_stale  # C(psi^{i-2}) + O(dt1): no collective
+                else:
+                    vd1 = ctx.vertical_fresh(psi)  # fresh (cold start / ablation)
+                    ctx.vd_stale = vd1
+                if i == 0 and overlap:
+                    # the overlapped inner part was charged before the wait;
+                    # charge only the remainder here
+                    ctx.charge_outer(W.adaptation)
+                else:
+                    ctx.charge(W.adaptation, ctx._wpoints)
+                eta1 = _adaptation_update(ctx, psi, psi, vd1, dt1, scr(psi))
 
-        # ---- advection exchange (2nd of 2 per step) ----
-        comm.set_phase(PHASE_STENCIL)
-        pending = ctx.halo.start(state_fields(psi), wy=3, wz=3 if ctx.geom.gz else None)
-        comm.set_phase(None)
-        bundle_pending = ctx.start_bundle_exchange(vd_frozen, wy=3)
+                vd2 = ctx.vertical_fresh(eta1)
+                ctx.vd_stale = vd2
+                ctx.charge(W.adaptation, ctx._wpoints)
+                eta2 = _adaptation_update(
+                    ctx, eta1, psi, vd2, dt1, scr(psi, eta1)
+                )
 
-        if overlap:  # overlap with the first zeta update
-            ctx.charge_inner(W.advection)
+                if ring is not None:
+                    mid = ModelState.midpoint_into(
+                        psi, eta2, ring.scratch(psi, eta2)
+                    )
+                else:
+                    mid = ModelState.midpoint(psi, eta2)
+                vd3 = ctx.vertical_fresh(mid)
+                ctx.vd_stale = vd3
+                ctx.charge(W.adaptation, ctx._wpoints)
+                psi = _adaptation_update(ctx, mid, psi, vd3, dt1, scr(psi, mid))
+                ctx.charge(W.update, 3 * ctx._wpoints)
 
-        comm.set_phase(PHASE_STENCIL)
-        ctx.halo.finish(pending, state_fields(psi))
-        comm.set_phase(None)
-        ctx.exchanges += 1
-        ctx.finish_bundle_exchange(vd_frozen, 3, bundle_pending)
-        ctx.fill_bc(psi)
+            vd_frozen = ctx.vd_stale
 
-        if overlap:
-            ctx.charge_outer(W.advection)
-        else:
+            # ---- advection exchange (2nd of 2 per step) ----
+            with span("halo-exchange", "comm"):
+                comm.set_phase(PHASE_STENCIL)
+                pending = ctx.halo.start(
+                    state_fields(psi), wy=3, wz=3 if ctx.geom.gz else None
+                )
+                comm.set_phase(None)
+                bundle_pending = ctx.start_bundle_exchange(vd_frozen, wy=3)
+
+                if overlap:  # overlap with the first zeta update
+                    ctx.charge_inner(W.advection)
+
+                comm.set_phase(PHASE_STENCIL)
+                ctx.halo.finish(pending, state_fields(psi))
+                comm.set_phase(None)
+                ctx.exchanges += 1
+                ctx.finish_bundle_exchange(vd_frozen, 3, bundle_pending)
+                ctx.fill_bc(psi)
+
+            if overlap:
+                ctx.charge_outer(W.advection)
+            else:
+                ctx.charge(W.advection, ctx._wpoints)
+            tend = ctx.engine.apply_filter(ctx.engine.advection(psi, vd_frozen))
+            zeta1 = (
+                psi.axpy_into(dt2, tend, ring.scratch(psi))
+                if ring is not None else psi.axpy(dt2, tend)
+            )
+            ctx.engine.fill_physical_ghosts(zeta1)
+
             ctx.charge(W.advection, ctx._wpoints)
-        tend = ctx.engine.apply_filter(ctx.engine.advection(psi, vd_frozen))
-        zeta1 = (
-            psi.axpy_into(dt2, tend, ring.scratch(psi))
-            if ring is not None else psi.axpy(dt2, tend)
-        )
-        ctx.engine.fill_physical_ghosts(zeta1)
+            tend = ctx.engine.apply_filter(ctx.engine.advection(zeta1, vd_frozen))
+            zeta2 = (
+                psi.axpy_into(dt2, tend, ring.scratch(psi, zeta1))
+                if ring is not None else psi.axpy(dt2, tend)
+            )
+            ctx.engine.fill_physical_ghosts(zeta2)
 
-        ctx.charge(W.advection, ctx._wpoints)
-        tend = ctx.engine.apply_filter(ctx.engine.advection(zeta1, vd_frozen))
-        zeta2 = (
-            psi.axpy_into(dt2, tend, ring.scratch(psi, zeta1))
-            if ring is not None else psi.axpy(dt2, tend)
-        )
-        ctx.engine.fill_physical_ghosts(zeta2)
-
-        if ring is not None:
-            mid = ModelState.midpoint_into(psi, zeta2, ring.scratch(psi, zeta2))
-        else:
-            mid = ModelState.midpoint(psi, zeta2)
-        ctx.charge(W.advection, ctx._wpoints)
-        tend = ctx.engine.apply_filter(ctx.engine.advection(mid, vd_frozen))
-        xi_pre = (
-            psi.axpy_into(dt2, tend, ring.scratch(psi, mid))
-            if ring is not None else psi.axpy(dt2, tend)
-        )
-        ctx.engine.fill_physical_ghosts(xi_pre)
-        ctx.charge(W.update, 3 * ctx._wpoints)
-        first_step = False
+            if ring is not None:
+                mid = ModelState.midpoint_into(psi, zeta2, ring.scratch(psi, zeta2))
+            else:
+                mid = ModelState.midpoint(psi, zeta2)
+            ctx.charge(W.advection, ctx._wpoints)
+            tend = ctx.engine.apply_filter(ctx.engine.advection(mid, vd_frozen))
+            xi_pre = (
+                psi.axpy_into(dt2, tend, ring.scratch(psi, mid))
+                if ring is not None else psi.axpy(dt2, tend)
+            )
+            ctx.engine.fill_physical_ghosts(xi_pre)
+            ctx.charge(W.update, 3 * ctx._wpoints)
+            first_step = False
+        ctx.record_telemetry(_step + 1, xi_pre)
 
     # ---- final smoothing (Algorithm 2 line 30): one extra exchange ----
-    comm.set_phase(PHASE_STENCIL)
-    ctx.halo.exchange(state_fields(xi_pre), wy=STRIP, wz=min(STRIP, ctx.geom.gz) or None)
-    comm.set_phase(None)
-    ctx.fill_bc(xi_pre)
+    # (span name distinct from the per-step pair so trace-based accounting
+    # of "halo-exchange" spans per step reads exactly 2)
+    with span("smoothing-exchange", "comm"):
+        comm.set_phase(PHASE_STENCIL)
+        ctx.halo.exchange(
+            state_fields(xi_pre), wy=STRIP,
+            wz=min(STRIP, ctx.geom.gz) or None,
+        )
+        comm.set_phase(None)
+        ctx.fill_bc(xi_pre)
     ctx.charge(cfg.weights.smoothing, ctx._wpoints)
     from repro.operators.smoothing import smooth_state, smooth_state_into
 
@@ -437,5 +454,9 @@ def ca_rank_program(
         cfg.forcing(out, ctx.geom, dt2)
 
     return RankResult(
-        state=ctx.strip_local(out), c_calls=ctx.c_calls, exchanges=ctx.exchanges
+        state=ctx.strip_local(out),
+        c_calls=ctx.c_calls,
+        exchanges=ctx.exchanges,
+        telemetry=ctx.telemetry_partials if cfg.telemetry else None,
+        ws_counters=ctx.ws_counters(),
     )

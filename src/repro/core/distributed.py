@@ -27,6 +27,7 @@ from repro.core.workspace import StateRing, Workspace
 from repro.grid.decomposition import Decomposition
 from repro.grid.latlon import LatLonGrid
 from repro.grid.sigma import SigmaLevels
+from repro.obs.spans import span
 from repro.operators.filter import damping_factors
 from repro.operators.geometry import WorkingGeometry
 from repro.operators.smoothing import smooth_state, smooth_state_into, smoothers_for
@@ -71,6 +72,9 @@ class DistributedConfig:
     #: run the per-rank pool-backed fast path (bit-identical numerics;
     #: ``False`` keeps the original allocating implementation)
     use_workspace: bool = True
+    #: record per-step physics-telemetry partials (local sums/maxes only —
+    #: no extra communication; the driver combines them after the run)
+    telemetry: bool = False
 
     def validate_c_method(self) -> None:
         if self.c_method not in ("allgather", "scan"):
@@ -153,6 +157,8 @@ class RankContext:
             )
         self.exchanges = 0
         self.c_calls = 0
+        #: ``(step, partials)`` pairs when ``cfg.telemetry`` is on
+        self.telemetry_partials: list[tuple[int, dict]] = []
 
     # ---- cost charging ----------------------------------------------------
     def charge(self, weight: float, npoints: int) -> None:
@@ -223,19 +229,20 @@ class RankContext:
 
     def refresh_halos(self, state: ModelState) -> None:
         """One full halo refresh: plane exchange, antipodal pole fill, BC."""
-        self.comm.set_phase(PHASE_STENCIL)
-        self.halo.exchange([state.U, state.V, state.Phi, state.psa])
-        if self.antipodal is not None:
-            self.antipodal.fill(
-                [
-                    (state.U, "vector"),
-                    (state.V, "vrow"),
-                    (state.Phi, "scalar"),
-                    (state.psa, "scalar"),
-                ]
-            )
-        self.comm.set_phase(None)
-        self.fill_bc(state)
+        with span("halo-exchange", "comm"):
+            self.comm.set_phase(PHASE_STENCIL)
+            self.halo.exchange([state.U, state.V, state.Phi, state.psa])
+            if self.antipodal is not None:
+                self.antipodal.fill(
+                    [
+                        (state.U, "vector"),
+                        (state.V, "vrow"),
+                        (state.Phi, "scalar"),
+                        (state.psa, "scalar"),
+                    ]
+                )
+            self.comm.set_phase(None)
+            self.fill_bc(state)
         self.exchanges += 1
 
     # ---- operators with charging ----------------------------------------------------
@@ -423,6 +430,37 @@ class RankContext:
         w.psa[sl3[1:]] = self.cfg.decomp.scatter(global_state.psa, self.comm.rank)
         return w
 
+    def record_telemetry(self, step: int, w: ModelState) -> None:
+        """Record this block's physics partials after step ``step``.
+
+        Purely local sums/maxes over the interior block — deliberately no
+        communication, so the exchange/collective counts the paper argues
+        about are unchanged whether telemetry is on or off.
+        """
+        if not self.cfg.telemetry:
+            return
+        from repro.obs.telemetry import block_partials
+
+        self.telemetry_partials.append(
+            (
+                step,
+                block_partials(
+                    self.strip_local(w), self.cfg.grid, self.cfg.sigma,
+                    extent=self.extent,
+                ),
+            )
+        )
+
+    def ws_counters(self) -> dict | None:
+        """Pool counters of this rank's workspace (``None`` without one)."""
+        if self.ws is None:
+            return None
+        return {
+            "fresh_allocations": self.ws.fresh_allocations,
+            "reuses": self.ws.reuses,
+            "pooled_bytes": self.ws.pooled_bytes,
+        }
+
     def strip_local(self, w: ModelState) -> ModelState:
         """Interior block of a working state."""
         g = self.geom
@@ -447,6 +485,10 @@ class RankResult:
     state: ModelState
     c_calls: int
     exchanges: int
+    #: per-step local telemetry partials (``cfg.telemetry`` only)
+    telemetry: list[tuple[int, dict]] | None = None
+    #: workspace pool counters of this rank (``cfg.use_workspace`` only)
+    ws_counters: dict | None = None
 
 
 def _update(
@@ -487,69 +529,78 @@ def original_rank_program(
     def scr(*live: ModelState) -> ModelState | None:
         return ring.scratch(*live) if ring is not None else None
 
-    for _ in range(cfg.nsteps):
-        # ---- adaptation: M iterations x 3 internal updates ----
-        for _i in range(M):
-            vd = ctx.vertical_fresh(psi)
-            eta1 = _update(
-                psi, dt1, ctx.filtered_adaptation(psi, vd), ctx, scr(psi)
-            )
-            ctx.refresh_halos(eta1)
+    for step_no in range(cfg.nsteps):
+        with span("step", "step"):
+            # ---- adaptation: M iterations x 3 internal updates ----
+            for _i in range(M):
+                vd = ctx.vertical_fresh(psi)
+                eta1 = _update(
+                    psi, dt1, ctx.filtered_adaptation(psi, vd), ctx, scr(psi)
+                )
+                ctx.refresh_halos(eta1)
 
-            vd = ctx.vertical_fresh(eta1)
-            eta2 = _update(
-                psi, dt1, ctx.filtered_adaptation(eta1, vd), ctx,
-                scr(psi, eta1),
-            )
-            ctx.refresh_halos(eta2)
+                vd = ctx.vertical_fresh(eta1)
+                eta2 = _update(
+                    psi, dt1, ctx.filtered_adaptation(eta1, vd), ctx,
+                    scr(psi, eta1),
+                )
+                ctx.refresh_halos(eta2)
 
+                if ring is not None:
+                    mid = ModelState.midpoint_into(
+                        psi, eta2, ring.scratch(psi, eta2)
+                    )
+                else:
+                    mid = ModelState.midpoint(psi, eta2)
+                vd = ctx.vertical_fresh(mid)
+                psi = _update(
+                    psi, dt1, ctx.filtered_adaptation(mid, vd), ctx,
+                    scr(psi, mid),
+                )
+                ctx.refresh_halos(psi)
+            vd_frozen = vd
+
+            # ---- advection: one iteration, 3 internal updates ----
+            zeta1 = _update(
+                psi, dt2, ctx.filtered_advection(psi, vd_frozen), ctx,
+                scr(psi),
+            )
+            ctx.refresh_halos(zeta1)
+            zeta2 = _update(
+                psi, dt2, ctx.filtered_advection(zeta1, vd_frozen), ctx,
+                scr(psi, zeta1),
+            )
+            ctx.refresh_halos(zeta2)
             if ring is not None:
                 mid = ModelState.midpoint_into(
-                    psi, eta2, ring.scratch(psi, eta2)
+                    psi, zeta2, ring.scratch(psi, zeta2)
                 )
             else:
-                mid = ModelState.midpoint(psi, eta2)
-            vd = ctx.vertical_fresh(mid)
+                mid = ModelState.midpoint(psi, zeta2)
             psi = _update(
-                psi, dt1, ctx.filtered_adaptation(mid, vd), ctx,
+                psi, dt2, ctx.filtered_advection(mid, vd_frozen), ctx,
                 scr(psi, mid),
             )
             ctx.refresh_halos(psi)
-        vd_frozen = vd
 
-        # ---- advection: one iteration, 3 internal updates ----
-        zeta1 = _update(
-            psi, dt2, ctx.filtered_advection(psi, vd_frozen), ctx, scr(psi)
-        )
-        ctx.refresh_halos(zeta1)
-        zeta2 = _update(
-            psi, dt2, ctx.filtered_advection(zeta1, vd_frozen), ctx,
-            scr(psi, zeta1),
-        )
-        ctx.refresh_halos(zeta2)
-        if ring is not None:
-            mid = ModelState.midpoint_into(psi, zeta2, ring.scratch(psi, zeta2))
-        else:
-            mid = ModelState.midpoint(psi, zeta2)
-        psi = _update(
-            psi, dt2, ctx.filtered_advection(mid, vd_frozen), ctx,
-            scr(psi, mid),
-        )
-        ctx.refresh_halos(psi)
+            # ---- smoothing (the 13th exchange already happened above) ----
+            ctx.charge(cfg.weights.smoothing, ctx._wpoints)
+            if ring is not None:
+                psi = smooth_state_into(
+                    psi, params, ring.scratch(psi), ctx.ws, ctx.smoothers
+                )
+            else:
+                psi = smooth_state(psi, params)
 
-        # ---- smoothing (the 13th exchange already happened above) ----
-        ctx.charge(cfg.weights.smoothing, ctx._wpoints)
-        if ring is not None:
-            psi = smooth_state_into(
-                psi, params, ring.scratch(psi), ctx.ws, ctx.smoothers
-            )
-        else:
-            psi = smooth_state(psi, params)
-
-        if cfg.forcing is not None:
-            cfg.forcing(psi, ctx.geom, dt2)
-        ctx.refresh_halos(psi)
+            if cfg.forcing is not None:
+                cfg.forcing(psi, ctx.geom, dt2)
+            ctx.refresh_halos(psi)
+        ctx.record_telemetry(step_no + 1, psi)
 
     return RankResult(
-        state=ctx.strip_local(psi), c_calls=ctx.c_calls, exchanges=ctx.exchanges
+        state=ctx.strip_local(psi),
+        c_calls=ctx.c_calls,
+        exchanges=ctx.exchanges,
+        telemetry=ctx.telemetry_partials if cfg.telemetry else None,
+        ws_counters=ctx.ws_counters(),
     )

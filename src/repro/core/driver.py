@@ -14,6 +14,7 @@ This is the entry point the examples and most downstream users want:
 """
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
 
@@ -21,6 +22,9 @@ from repro.constants import DEFAULT_PARAMETERS, ModelParameters
 from repro.core.comm_avoiding import ca_rank_program
 from repro.core.distributed import DistributedConfig, original_rank_program
 from repro.core.integrator import SerialCore
+from repro.obs.config import ObsConfig, Observation
+from repro.obs.metrics import absorb_comm_stats, absorb_workspace_counters
+from repro.obs.spans import active_tracer, set_active
 from repro.grid.decomposition import (
     Decomposition,
     best_2d_factorization,
@@ -101,6 +105,10 @@ class CoreConfig:
     timeout: float | None = None
     #: pool-backed fast path (bit-identical numerics; False = seed path)
     use_workspace: bool = True
+    #: observability: ``True``/:class:`~repro.obs.config.ObsConfig` turns
+    #: on span tracing, metrics and physics telemetry (``None`` = off,
+    #: near-zero overhead)
+    observe: ObsConfig | bool | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -109,6 +117,7 @@ class CoreConfig:
             )
         if self.algorithm == "serial" and self.nprocs != 1:
             raise ValueError("the serial core runs on one rank")
+        self.observe = ObsConfig.coerce(self.observe)
 
     def resolve_decomposition(self) -> Decomposition:
         g = self.grid
@@ -131,6 +140,51 @@ class DynamicalCore:
 
     def __init__(self, grid: LatLonGrid, **kwargs) -> None:
         self.config = CoreConfig(grid=grid, **kwargs)
+        self._observation: Observation | None = None
+        #: telemetry records of the in-flight (uncommitted) run; the
+        #: resilient driver commits or discards them per chunk
+        self._staged_telemetry: list = []
+
+    # ---- observation lifecycle -----------------------------------------------
+    @property
+    def observation(self) -> Observation | None:
+        """The live observation bundle, or ``None`` when ``observe`` is off."""
+        return self._ensure_observation()
+
+    def _ensure_observation(self) -> Observation | None:
+        if self.config.observe is None:
+            return None
+        if self._observation is None:
+            self._observation = Observation(config=self.config.observe)
+        return self._observation
+
+    @contextmanager
+    def _obs_scope(self):
+        """Activate this core's span tracer for the duration of one run.
+
+        Reentrant: a no-op when the tracer is already active, so the
+        resilient driver's chunk runs compose with an outer scope.
+        """
+        obs = self._ensure_observation()
+        if obs is None or obs.tracer is None or active_tracer() is obs.tracer:
+            yield obs
+            return
+        prev = set_active(obs.tracer)
+        try:
+            yield obs
+        finally:
+            set_active(prev)
+
+    def _commit_observation(self) -> None:
+        """Move staged telemetry into the committed series."""
+        obs = self._observation
+        if obs is not None and self._staged_telemetry:
+            obs.telemetry.extend(self._staged_telemetry)
+        self._staged_telemetry = []
+
+    def _discard_observation(self) -> None:
+        """Drop staged telemetry of a rolled-back / failed run."""
+        self._staged_telemetry = []
 
     def run(
         self, state0: ModelState, nsteps: int
@@ -140,7 +194,15 @@ class DynamicalCore:
         Returns the gathered global final state plus run diagnostics from
         the simulated cluster (zeros for the serial core).
         """
-        state, diag, _ = self._run_once(state0, nsteps)
+        try:
+            state, diag, _ = self._run_once(state0, nsteps)
+        except BaseException:
+            self._discard_observation()
+            raise
+        self._commit_observation()
+        obs = self._observation
+        if obs is not None:
+            obs.finalize_outputs()
         return state, diag
 
     def run_resilient(
@@ -164,14 +226,35 @@ class DynamicalCore:
         faults=None,
         verify_checksums: bool = False,
         timeout: float | None = None,
+        step0: int = 0,
     ) -> tuple[ModelState, StepDiagnostics, list | None]:
         """One uninterrupted run; raises on any injected/organic failure.
 
         Returns ``(state, diagnostics, per_rank_stats_or_None)``; the
         stats list (None for the serial core) lets the resilient driver
-        harvest fault events from successful chunks.
+        harvest fault events from successful chunks.  ``step0`` offsets
+        the step numbers of telemetry records (chunked resilient runs).
         """
+        with self._obs_scope() as obs:
+            return self._run_once_observed(
+                state0, nsteps, obs,
+                faults=faults, verify_checksums=verify_checksums,
+                timeout=timeout, step0=step0,
+            )
+
+    def _run_once_observed(
+        self,
+        state0: ModelState,
+        nsteps: int,
+        obs: Observation | None,
+        *,
+        faults,
+        verify_checksums: bool,
+        timeout: float | None,
+        step0: int,
+    ) -> tuple[ModelState, StepDiagnostics, list | None]:
         cfg = self.config
+        want_telemetry = obs is not None and obs.config.telemetry
         if cfg.algorithm == "serial":
             core = SerialCore(
                 cfg.grid,
@@ -180,8 +263,29 @@ class DynamicalCore:
                 forcing=cfg.forcing,
                 use_workspace=cfg.use_workspace,
             )
-            out = core.run(state0, nsteps)
+            monitor = None
+            if want_telemetry:
+                from repro.obs.telemetry import record_for_state
+
+                def monitor(k: int, interior: ModelState) -> None:
+                    self._staged_telemetry.append(
+                        record_for_state(
+                            step0 + k, interior, cfg.grid, core.sigma
+                        )
+                    )
+
+            out = core.run(state0, nsteps, monitor=monitor)
             diag = StepDiagnostics(c_calls=core.c_calls)
+            if obs is not None and obs.config.metrics and core.ws is not None:
+                absorb_workspace_counters(
+                    obs.registry,
+                    {
+                        "fresh_allocations": core.ws.fresh_allocations,
+                        "reuses": core.ws.reuses,
+                        "pooled_bytes": core.ws.pooled_bytes,
+                    },
+                    rank=0,
+                )
             return out, diag, None
 
         decomp = cfg.resolve_decomposition()
@@ -193,6 +297,7 @@ class DynamicalCore:
             nsteps=nsteps,
             forcing=cfg.forcing,
             use_workspace=cfg.use_workspace,
+            telemetry=want_telemetry,
         )
         program = (
             ca_rank_program if cfg.algorithm == "ca" else original_rank_program
@@ -210,6 +315,7 @@ class DynamicalCore:
             state0,
             machine=cfg.machine,
             timeout=timeout,
+            trace=obs is not None and obs.config.logical_trace,
             faults=faults,
             verify_checksums=verify_checksums,
         )
@@ -237,4 +343,30 @@ class DynamicalCore:
             c_calls=result.results[0].c_calls,
             exchanges=result.results[0].exchanges,
         )
+        if obs is not None:
+            self._absorb_distributed(obs, result, step0)
         return gathered, diag, result.stats
+
+    def _absorb_distributed(self, obs: Observation, result, step0: int) -> None:
+        """Fold one SPMD run's observables into the observation bundle."""
+        if obs.config.telemetry and result.results[0].telemetry is not None:
+            from repro.obs.telemetry import combine_partials
+
+            by_step: dict[int, list[dict]] = {}
+            for r in result.results:
+                for s, partials in r.telemetry:
+                    by_step.setdefault(s, []).append(partials)
+            for s in sorted(by_step):
+                self._staged_telemetry.append(
+                    combine_partials(step0 + s, by_step[s], self.config.grid)
+                )
+        if obs.config.metrics:
+            for rank, stats in enumerate(result.stats):
+                absorb_comm_stats(obs.registry, stats, rank)
+            for rank, r in enumerate(result.results):
+                if r.ws_counters is not None:
+                    absorb_workspace_counters(
+                        obs.registry, r.ws_counters, rank
+                    )
+        if obs.config.logical_trace and result.traces:
+            obs.logical_traces.extend(result.traces)

@@ -28,6 +28,7 @@ import numpy as np
 from repro.constants import DEFAULT_PARAMETERS, ModelParameters
 from repro.core.tendencies import TendencyEngine
 from repro.core.workspace import StateRing, Workspace
+from repro.obs.spans import span, traced
 from repro.grid.latlon import LatLonGrid
 from repro.grid.sigma import SigmaLevels
 from repro.operators.geometry import WorkingGeometry
@@ -114,6 +115,7 @@ class SerialCore:
         return vd
 
     # ---- one nonlinear adaptation iteration --------------------------------------
+    @traced("adaptation-iteration", "tendency")
     def _adaptation_iteration(self, psi: ModelState) -> ModelState:
         eng = self.engine
         dt1 = self.params.dt_adaptation
@@ -135,6 +137,7 @@ class SerialCore:
         eng.fill_physical_ghosts(eta3)
         return eta3
 
+    @traced("adaptation-iteration", "tendency")
     def _adaptation_iteration_ws(self, psi: ModelState) -> ModelState:
         """Ring-buffer variant of :meth:`_adaptation_iteration`.
 
@@ -213,6 +216,7 @@ class SerialCore:
         return out
 
     # ---- one full model step ----------------------------------------------------
+    @traced("step", "step")
     def step(self, xi: ModelState) -> ModelState:
         """Advance one step of Algorithm 1 on a *working* state."""
         if self.ws is not None:

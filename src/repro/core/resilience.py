@@ -27,11 +27,13 @@ fault-free ones.
 """
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.driver import StepDiagnostics
+from repro.obs.spans import span
 from repro.simmpi.faults import (
     CorruptedMessage,
     FaultInjector,
@@ -47,6 +49,8 @@ from repro.state.io import (
     save_state,
 )
 from repro.state.variables import ModelState
+
+logger = logging.getLogger(__name__)
 
 
 class BlowupError(RuntimeError):
@@ -238,12 +242,22 @@ def run_resilient(
 
     def _recover(kind: str, detail: str) -> ModelState:
         nonlocal restarts_left, chunk_attempt
+        core._discard_observation()
         if restarts_left <= 0:
+            logger.error(
+                "resilience exhausted at step %d after %d restarts "
+                "(last failure: %s: %s)",
+                step, rcfg.max_restarts, kind, detail,
+            )
             raise ResilienceExhausted(
                 f"gave up at step {step} after {rcfg.max_restarts} "
                 f"restarts (last failure: {kind}: {detail})"
             )
         restarts_left -= 1
+        logger.warning(
+            "chunk at step %d failed (%s, attempt %d): %s — rolling back",
+            step, kind, chunk_attempt, detail,
+        )
         report.restarts.append(
             RestartRecord(step=step, kind=kind, attempt=chunk_attempt,
                           detail=detail)
@@ -257,76 +271,109 @@ def run_resilient(
         chunk_attempt += 1
         # Reload from disk on purpose: recovery must exercise the same
         # path a process restarted from scratch would take.
-        found = latest_checkpoint(ckdir)
-        if found is None:
-            raise ResilienceExhausted(
-                f"no checkpoint to roll back to in {ckdir}"
-            )
-        restored, saved_step = load_state(found[0])
+        with span("rollback", "resilience"):
+            found = latest_checkpoint(ckdir)
+            if found is None:
+                raise ResilienceExhausted(
+                    f"no checkpoint to roll back to in {ckdir}"
+                )
+            restored, saved_step = load_state(found[0])
         if saved_step != step:
             raise ResilienceExhausted(
                 f"latest checkpoint is for step {saved_step}, "
                 f"expected step {step} — checkpoint directory corrupted?"
             )
+        logger.info("restored checkpoint for step %d from %s", step, found[0])
         return restored
 
-    while step < nsteps:
-        chunk = min(rcfg.checkpoint_interval, nsteps - step)
-        try:
-            new_state, chunk_diag, stats = core._run_once(
-                state,
-                chunk,
-                faults=injector,
-                verify_checksums=rcfg.verify_halo_checksums,
-                timeout=rcfg.spmd_timeout,
-            )
-        except (SpmdError, RankCrash, CorruptedMessage, DeadlockError,
-                FloatingPointError) as exc:
-            kind = classify_failure(exc)
-            if kind is None:
-                raise
-            if isinstance(exc, SpmdError) and exc.stats:
+    # Activate the core's span tracer for the whole resilient run, so the
+    # chunk/rollback spans below land in the same trace as the per-step
+    # spans; the per-chunk _run_once scope no-ops inside this one.
+    with core._obs_scope():
+        while step < nsteps:
+            chunk = min(rcfg.checkpoint_interval, nsteps - step)
+            try:
+                with span("chunk", "resilience"):
+                    new_state, chunk_diag, stats = core._run_once(
+                        state,
+                        chunk,
+                        faults=injector,
+                        verify_checksums=rcfg.verify_halo_checksums,
+                        timeout=rcfg.spmd_timeout,
+                        step0=step,
+                    )
+            except (SpmdError, RankCrash, CorruptedMessage, DeadlockError,
+                    FloatingPointError) as exc:
+                kind = classify_failure(exc)
+                if kind is None:
+                    raise
+                if isinstance(exc, SpmdError) and exc.stats:
+                    report.fault_events.extend(
+                        e for s in exc.stats for e in s.fault_events
+                    )
+                if kind == "blowup" and rcfg.blowup_policy == "abort":
+                    raise BlowupError(
+                        f"model blew up in chunk starting at step {step}: "
+                        f"{exc}"
+                    ) from exc
+                state = _recover(kind, str(exc).splitlines()[0])
+                continue
+
+            if stats is not None:
                 report.fault_events.extend(
-                    e for s in exc.stats for e in s.fault_events
+                    e for s in stats for e in s.fault_events
                 )
-            if kind == "blowup" and rcfg.blowup_policy == "abort":
-                raise BlowupError(
-                    f"model blew up in chunk starting at step {step}: {exc}"
-                ) from exc
-            state = _recover(kind, str(exc).splitlines()[0])
-            continue
 
-        if stats is not None:
-            report.fault_events.extend(
-                e for s in stats for e in s.fault_events
-            )
+            detail = _blowup_detail(core, new_state, rcfg)
+            if detail is not None:
+                if rcfg.blowup_policy == "abort":
+                    core._discard_observation()
+                    raise BlowupError(
+                        f"model blew up in chunk starting at step {step}: "
+                        f"{detail}"
+                    )
+                state = _recover("blowup", detail)
+                continue
 
-        if (
-            not new_state.isfinite()
-            or new_state.max_abs() > rcfg.blowup_threshold
-        ):
-            detail = (
-                "non-finite fields"
-                if not new_state.isfinite()
-                else f"max |field| = {new_state.max_abs():.3e} "
-                     f"> {rcfg.blowup_threshold:.3e}"
-            )
-            if rcfg.blowup_policy == "abort":
-                raise BlowupError(
-                    f"model blew up in chunk starting at step {step}: "
-                    f"{detail}"
-                )
-            state = _recover("blowup", detail)
-            continue
+            # Commit the chunk.
+            step += chunk
+            state = new_state
+            diag.accumulate(chunk_diag)
+            report.chunk_makespans.append(chunk_diag.makespan)
+            path = checkpoint_path(ckdir, step)
+            save_state(path, state, step=step)
+            report.checkpoints.append((step, path))
+            core._commit_observation()
+            chunk_attempt = 1
 
-        # Commit the chunk.
-        step += chunk
-        state = new_state
-        diag.accumulate(chunk_diag)
-        report.chunk_makespans.append(chunk_diag.makespan)
-        path = checkpoint_path(ckdir, step)
-        save_state(path, state, step=step)
-        report.checkpoints.append((step, path))
-        chunk_attempt = 1
-
+    obs = getattr(core, "_observation", None)
+    if obs is not None:
+        obs.finalize_outputs()
     return state, diag, report
+
+
+def _blowup_detail(core, new_state: ModelState, rcfg: ResilienceConfig) -> str | None:
+    """Blowup description for a completed chunk, or ``None`` when healthy.
+
+    The final-state checks of the seed are kept; when per-step physics
+    telemetry was staged by the chunk, its NaN/Inf sentinels extend the
+    guard to *mid-chunk* blowups (a chunk can go non-finite at step k and
+    wander back to finite — telemetry catches what the end-state check
+    cannot) and pinpoint the first bad step.
+    """
+    if not new_state.isfinite():
+        return "non-finite fields"
+    if new_state.max_abs() > rcfg.blowup_threshold:
+        return (
+            f"max |field| = {new_state.max_abs():.3e} "
+            f"> {rcfg.blowup_threshold:.3e}"
+        )
+    for rec in getattr(core, "_staged_telemetry", ()):
+        if not rec.finite:
+            return f"telemetry: non-finite fields at step {rec.step}"
+        if rec.max_abs > rcfg.blowup_threshold:
+            return (
+                f"telemetry: max |field| = {rec.max_abs:.3e} "
+                f"> {rcfg.blowup_threshold:.3e} at step {rec.step}"
+            )
+    return None

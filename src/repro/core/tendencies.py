@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.constants import ModelParameters
+from repro.obs.spans import traced
 from repro.operators.adaptation import AdaptationGeomCache, adaptation_tendency
 from repro.operators.advection import AdvectionGeomCache, advection_tendency
 from repro.operators.filter import PolarFilter
@@ -90,6 +91,7 @@ class TendencyEngine:
                 fill_z_edge_ghosts(f, g.gz, top=g.touches_top, bottom=g.touches_bottom)
 
     # ---- the C operator ------------------------------------------------------
+    @traced("C", "tendency")
     def vertical(self, state: ModelState) -> VerticalDiagnostics:
         """Apply ``C``: the vertical-integral diagnostics bundle.
 
@@ -115,6 +117,7 @@ class TendencyEngine:
         )
 
     # ---- composite tendencies ----------------------------------------------------
+    @traced("adaptation", "tendency")
     def adaptation(
         self, state: ModelState, vd: VerticalDiagnostics
     ) -> ModelState:
@@ -137,6 +140,7 @@ class TendencyEngine:
             )
         return adaptation_tendency(state, vd, self.geom, self.params)
 
+    @traced("advection", "tendency")
     def advection(
         self, state: ModelState, vd: VerticalDiagnostics
     ) -> ModelState:
@@ -149,6 +153,7 @@ class TendencyEngine:
             )
         return advection_tendency(state, vd, self.geom)
 
+    @traced("polar-filter", "tendency")
     def apply_filter(self, tend: ModelState) -> ModelState:
         """The ``F`` operator, local full-circle variant (requires
         ``geom.full_x``)."""

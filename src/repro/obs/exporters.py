@@ -1,0 +1,166 @@
+"""Exporters: Chrome-trace/Perfetto JSON and JSONL event logs.
+
+Two timelines coexist in this codebase: *wall-clock* spans recorded by
+:class:`~repro.obs.spans.SpanTracer` from the executed integrators, and
+*logical-clock* events recorded by the simulated cluster's
+:class:`~repro.simmpi.trace.TraceRecorder`.  Both export to the Chrome
+trace-event format (``chrome://tracing`` / https://ui.perfetto.dev), on
+separate process lanes of one file, so the real execution and the
+simulated schedule can be inspected side by side in the same viewer.
+
+The JSONL exporter writes one JSON object per line (spans, telemetry
+records, metric snapshots) — the grep-able event log for ad-hoc
+analysis; :mod:`repro.obs.report` is the bundled reader for both
+formats.
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: timestamp scale of the Chrome trace format (microseconds)
+_US = 1e6
+
+
+def _meta(pid: int, name: str) -> dict:
+    return {
+        "ph": "M", "pid": pid, "tid": 0,
+        "name": "process_name", "args": {"name": name},
+    }
+
+
+def span_events(
+    spans, pid: int = 1, process_name: str = "wall-clock"
+) -> list[dict]:
+    """Chrome-trace events of wall-clock :class:`~repro.obs.spans.Span`.
+
+    Lanes (``tid``): the simulated rank for rank-labelled spans, with
+    unlabelled (serial/driver) spans on a ``main`` lane.
+    """
+    events = [_meta(pid, process_name)]
+    lanes: dict[tuple[int, int], int] = {}
+    for s in spans:
+        lane_key = (s.rank, s.tid if s.rank < 0 else 0)
+        lane = lanes.get(lane_key)
+        if lane is None:
+            lane = s.rank if s.rank >= 0 else 1000 + len(lanes)
+            lanes[lane_key] = lane
+            events.append({
+                "ph": "M", "pid": pid, "tid": lane,
+                "name": "thread_name",
+                "args": {
+                    "name": f"rank {s.rank}" if s.rank >= 0 else "main"
+                },
+            })
+        events.append({
+            "ph": "X", "pid": pid, "tid": lane,
+            "name": s.name, "cat": s.cat,
+            "ts": s.t_start * _US, "dur": s.duration * _US,
+            "args": {"depth": s.depth},
+        })
+    return events
+
+
+def logical_events(
+    recorders,
+    pid: int = 2,
+    process_name: str = "logical-clock",
+    time_scale: float = _US,
+) -> list[dict]:
+    """Chrome-trace events of per-rank logical-clock ``TraceRecorder``s.
+
+    Logical seconds map to trace microseconds one-to-one by default
+    (``time_scale=1e6``), which keeps simulated timelines readable at
+    the zoom levels the viewer starts at.
+    """
+    events = [_meta(pid, process_name)]
+    for rec in recorders:
+        events.append({
+            "ph": "M", "pid": pid, "tid": rec.rank,
+            "name": "thread_name", "args": {"name": f"rank {rec.rank}"},
+        })
+        for e in rec.events:
+            events.append({
+                "ph": "X", "pid": pid, "tid": rec.rank,
+                "name": e.kind, "cat": e.phase or e.kind,
+                "ts": e.t_start * time_scale,
+                "dur": e.duration * time_scale,
+                "args": {"detail": e.detail} if e.detail else {},
+            })
+    return events
+
+
+def chrome_trace(spans=(), recorders=(), extra_events=()) -> dict:
+    """Assemble one Chrome-trace document from any mix of sources."""
+    events: list[dict] = []
+    if spans:
+        events.extend(span_events(spans))
+    if recorders:
+        events.extend(logical_events(recorders))
+    events.extend(extra_events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, trace) -> Path:
+    """Write a trace document (dict, or a bare event list) to ``path``."""
+    if isinstance(trace, list):
+        trace = {"traceEvents": trace, "displayTimeUnit": "ms"}
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace) + "\n")
+    return path
+
+
+def load_chrome_trace(path) -> dict:
+    """Read a Chrome-trace JSON back (dict with a ``traceEvents`` list)."""
+    doc = json.loads(Path(path).read_text())
+    if isinstance(doc, list):  # bare-array form is legal Chrome trace
+        doc = {"traceEvents": doc}
+    if "traceEvents" not in doc:
+        raise ValueError(f"{path}: not a Chrome trace (no traceEvents)")
+    return doc
+
+
+def duration_events(doc: dict) -> list[dict]:
+    """The complete (``ph == "X"``) events of a loaded trace document."""
+    return [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+
+
+# ---------------------------------------------------------------------------
+# JSONL event log
+# ---------------------------------------------------------------------------
+def jsonl_records(spans=(), telemetry=(), metrics: dict | None = None):
+    """Yield the JSONL records of one observation snapshot."""
+    for s in spans:
+        yield {
+            "type": "span", "name": s.name, "cat": s.cat,
+            "t_start": s.t_start, "t_end": s.t_end,
+            "rank": s.rank, "depth": s.depth,
+        }
+    for r in telemetry:
+        yield {"type": "telemetry", **r.as_dict()}
+    if metrics:
+        for name, family in metrics.items():
+            for sample in family["samples"]:
+                yield {
+                    "type": "metric", "name": name,
+                    "kind": family["kind"], **sample,
+                }
+
+
+def write_jsonl(path, records) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec) + "\n")
+    return path
+
+
+def read_jsonl(path) -> list[dict]:
+    out = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out

@@ -1,0 +1,143 @@
+"""``python -m repro.obs.report`` — summarise exported observations.
+
+Reads either a Chrome-trace JSON (``.json``, as written by
+``Observation.write_chrome_trace`` / ``--chrome-trace``) or a JSONL
+event log (as written by ``Observation.write_jsonl``) and prints a
+span-count/duration breakdown plus, for JSONL, the physics-telemetry
+trajectory.  Format is auto-detected from the file contents.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+from collections import defaultdict
+from pathlib import Path
+
+
+def _is_chrome_trace(path: Path) -> bool:
+    with path.open() as fh:
+        head = fh.read(1)
+        while head.isspace():
+            head = fh.read(1)
+    return head in ("{", "[")  # JSONL starts with {, but on every line
+
+
+def _detect_format(path: Path) -> str:
+    """``"chrome"`` or ``"jsonl"``, sniffed from the first record."""
+    first = ""
+    with path.open() as fh:
+        for line in fh:
+            if line.strip():
+                first = line.strip()
+                break
+    if not first:
+        return "jsonl"
+    try:
+        rec = json.loads(first)
+    except json.JSONDecodeError:
+        return "chrome"  # single multi-line JSON document
+    if isinstance(rec, dict) and rec.get("type") in (
+        "span", "telemetry", "metric"
+    ):
+        return "jsonl"
+    return "chrome"
+
+
+def _span_table(rows: dict[tuple[str, str], list[float]]) -> list[str]:
+    lines = [
+        f"  {'name':<24} {'cat':<12} {'count':>6} "
+        f"{'total_s':>10} {'mean_ms':>9}"
+    ]
+    for (name, cat), durs in sorted(
+        rows.items(), key=lambda kv: -sum(kv[1])
+    ):
+        total = sum(durs)
+        mean_ms = 1e3 * total / len(durs) if durs else 0.0
+        lines.append(
+            f"  {name:<24} {cat:<12} {len(durs):>6} "
+            f"{total:>10.4f} {mean_ms:>9.3f}"
+        )
+    return lines
+
+
+def report_chrome(path: Path) -> str:
+    from repro.obs.exporters import duration_events, load_chrome_trace
+
+    doc = load_chrome_trace(path)
+    events = duration_events(doc)
+    lanes = {(e.get("pid", 0), e.get("tid", 0)) for e in events}
+    rows: dict[tuple[str, str], list[float]] = defaultdict(list)
+    for e in events:
+        rows[(e.get("name", "?"), e.get("cat", "?"))].append(
+            e.get("dur", 0.0) / 1e6
+        )
+    lines = [
+        f"{path}: Chrome trace, {len(events)} events on {len(lanes)} lanes"
+    ]
+    lines.extend(_span_table(rows))
+    steps = sum(len(d) for (n, _), d in rows.items() if n == "step")
+    if steps:
+        per_step = {
+            name: len(durs) / steps
+            for (name, _), durs in rows.items()
+            if name != "step"
+        }
+        exch = per_step.get("halo-exchange")
+        if exch is not None:
+            lines.append(f"  halo exchanges per step: {exch:g}")
+    return "\n".join(lines)
+
+
+def report_jsonl(path: Path) -> str:
+    from repro.obs.exporters import read_jsonl
+
+    records = read_jsonl(path)
+    spans = [r for r in records if r.get("type") == "span"]
+    telem = [r for r in records if r.get("type") == "telemetry"]
+    metrics = [r for r in records if r.get("type") == "metric"]
+    lines = [
+        f"{path}: JSONL log — {len(spans)} spans, "
+        f"{len(telem)} telemetry records, {len(metrics)} metric samples"
+    ]
+    if spans:
+        rows: dict[tuple[str, str], list[float]] = defaultdict(list)
+        for s in spans:
+            rows[(s["name"], s.get("cat", "?"))].append(
+                s["t_end"] - s["t_start"]
+            )
+        lines.extend(_span_table(rows))
+    if telem:
+        first, last = telem[0], telem[-1]
+        lines.append(
+            f"  telemetry steps {first['step']}..{last['step']}: "
+            f"mass {first['mass']:+.4e} -> {last['mass']:+.4e}, "
+            f"energy {first['energy']:.4e} -> {last['energy']:.4e}, "
+            f"peak max|V| {max(t['max_wind'] for t in telem):.3f} m/s"
+        )
+        bad = [t["step"] for t in telem if not t.get("finite", True)]
+        if bad:
+            lines.append(f"  NON-FINITE fields first seen at step {bad[0]}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarise a Chrome-trace JSON or obs JSONL log.",
+    )
+    parser.add_argument("paths", nargs="+", help="exported files to read")
+    parser.add_argument(
+        "--format", choices=("auto", "chrome", "jsonl"), default="auto"
+    )
+    ns = parser.parse_args(argv)
+    for raw in ns.paths:
+        path = Path(raw)
+        if not path.exists():
+            parser.error(f"{path}: no such file")
+        fmt = ns.format if ns.format != "auto" else _detect_format(path)
+        print(report_chrome(path) if fmt == "chrome" else report_jsonl(path))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,246 @@
+"""Low-overhead wall-clock span tracing for the executed core.
+
+A :class:`SpanTracer` records nested, named wall-clock spans — ``step >
+tendency > adaptation/C/advection > halo-exchange`` — from every thread
+that runs instrumented code (the simulated-MPI rank threads included).
+Instrumentation sites call the module-level :func:`span` context manager;
+when no tracer is active (the default) it returns a shared no-op object,
+so the disabled overhead of an instrumented call site is one global read
+plus an empty ``with`` block.
+
+Thread/rank model
+-----------------
+Spans are buffered per thread with no locking on the hot path; the
+buffers are merged (sorted by start time) when :attr:`SpanTracer.spans`
+is read.  The SPMD launcher labels each rank thread via :func:`set_rank`,
+so spans recorded inside a rank program carry their simulated rank;
+spans from unlabelled threads (the serial core, the driver) carry rank
+``-1`` and are exported as the ``main`` lane.
+
+Timebase: ``time.perf_counter()`` seconds relative to the tracer's
+construction (``epoch``).  This is *real* elapsed time, deliberately
+distinct from the simulated cluster's logical clocks — the Chrome-trace
+exporter puts both on separate process lanes of the same timeline.
+"""
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed wall-clock span."""
+
+    name: str
+    cat: str
+    t_start: float  # seconds since the tracer's epoch
+    t_end: float
+    rank: int       # simulated rank, or -1 for unlabelled threads
+    tid: int        # OS thread ident (display/debug only)
+    depth: int      # nesting depth within the recording thread
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+#: thread-local simulated-rank label (see :func:`set_rank`)
+_rank_local = threading.local()
+
+
+def set_rank(rank: int) -> int:
+    """Label this thread's subsequent spans with a simulated rank.
+
+    Returns the previous label so callers can restore it (``-1`` when
+    none was set) — the SPMD launcher does exactly that around each rank
+    program so the serial fast path does not leak a rank label onto the
+    caller's thread.
+    """
+    prev = getattr(_rank_local, "value", -1)
+    _rank_local.value = rank
+    return prev
+
+
+def current_rank() -> int:
+    """The simulated-rank label of the calling thread (-1 if none)."""
+    return getattr(_rank_local, "value", -1)
+
+
+class _ThreadBuf:
+    """Per-thread span buffer (append without locking)."""
+
+    __slots__ = ("spans", "depth")
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.depth = 0
+
+
+class _LiveSpan:
+    """An open span; closes (and records) on ``__exit__``."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_buf", "_depth", "_t0")
+
+    def __init__(self, tracer: "SpanTracer", name: str, cat: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+
+    def __enter__(self) -> "_LiveSpan":
+        buf = self._tracer._thread_buf()
+        self._buf = buf
+        self._depth = buf.depth
+        buf.depth += 1
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = time.perf_counter()
+        buf = self._buf
+        buf.depth -= 1
+        epoch = self._tracer.epoch
+        buf.spans.append(
+            Span(
+                name=self._name,
+                cat=self._cat,
+                t_start=self._t0 - epoch,
+                t_end=t1 - epoch,
+                rank=getattr(_rank_local, "value", -1),
+                tid=threading.get_ident(),
+                depth=self._depth,
+            )
+        )
+        return False
+
+
+class SpanTracer:
+    """Collects wall-clock spans from any number of threads."""
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._bufs: list[_ThreadBuf] = []
+        self._tls = threading.local()
+
+    def _thread_buf(self) -> _ThreadBuf:
+        buf = getattr(self._tls, "buf", None)
+        if buf is None:
+            buf = _ThreadBuf()
+            self._tls.buf = buf
+            with self._lock:
+                self._bufs.append(buf)
+        return buf
+
+    def span(self, name: str, cat: str = "core") -> _LiveSpan:
+        """An open span context manager recording into this tracer."""
+        return _LiveSpan(self, name, cat)
+
+    @property
+    def spans(self) -> list[Span]:
+        """All completed spans of all threads, ordered by start time."""
+        with self._lock:
+            bufs = list(self._bufs)
+        out: list[Span] = []
+        for buf in bufs:
+            out.extend(buf.spans)
+        out.sort(key=lambda s: (s.t_start, s.rank))
+        return out
+
+    def count(self, name: str | None = None, cat: str | None = None) -> int:
+        """Number of completed spans matching ``name`` and/or ``cat``."""
+        return sum(
+            1
+            for s in self.spans
+            if (name is None or s.name == name)
+            and (cat is None or s.cat == cat)
+        )
+
+    def total_duration(self, name: str) -> float:
+        """Summed duration (seconds) of all spans named ``name``."""
+        return sum(s.duration for s in self.spans if s.name == name)
+
+    def durations(self, name: str) -> list[float]:
+        """Durations (seconds) of all spans named ``name``, in order."""
+        return [s.duration for s in self.spans if s.name == name]
+
+
+#: the process-global active tracer; ``None`` means tracing is disabled
+_active: SpanTracer | None = None
+
+
+def active_tracer() -> SpanTracer | None:
+    return _active
+
+
+def set_active(tracer: SpanTracer | None) -> SpanTracer | None:
+    """Install (or clear, with ``None``) the active tracer; returns the
+    previous one so callers can restore it."""
+    global _active
+    prev = _active
+    _active = tracer
+    return prev
+
+
+def enable(tracer: SpanTracer | None = None) -> SpanTracer:
+    """Activate tracing globally; returns the (possibly new) tracer."""
+    tracer = tracer if tracer is not None else SpanTracer()
+    set_active(tracer)
+    return tracer
+
+
+def disable() -> None:
+    """Deactivate tracing globally (instrumentation reverts to no-ops)."""
+    set_active(None)
+
+
+@contextmanager
+def tracing(tracer: SpanTracer | None = None):
+    """Scope-bound activation: ``with tracing() as t: ... t.spans``."""
+    t = tracer if tracer is not None else SpanTracer()
+    prev = set_active(t)
+    try:
+        yield t
+    finally:
+        set_active(prev)
+
+
+def span(name: str, cat: str = "core"):
+    """The instrumentation entry point: a context manager that records a
+    wall-clock span into the active tracer, or a shared no-op when
+    tracing is disabled."""
+    tracer = _active
+    if tracer is None:
+        return NULL_SPAN
+    return _LiveSpan(tracer, name, cat)
+
+
+def traced(name: str, cat: str = "core"):
+    """Decorator form of :func:`span` for whole-function spans."""
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapped(*args, **kwargs):
+            with span(name, cat):
+                return fn(*args, **kwargs)
+
+        return wrapped
+
+    return deco

@@ -1,0 +1,178 @@
+"""Per-step physics telemetry: mass, energy, winds and finiteness.
+
+The paper's algorithms rearrange *communication*; the physics must not
+notice.  This module computes, per model step, the handful of global
+scalars a production dynamical core watches continuously:
+
+* ``mass`` — the area-weighted mean surface-pressure perturbation (the
+  discrete mass proxy of :func:`repro.analysis.energy.global_mean_psa`);
+* ``energy`` (and its kinetic / available-potential / surface split) —
+  the transformed-variable energy integral of Sec. 2.2;
+* ``max_wind`` — :math:`\\max \\sqrt{U^2 + V^2}` over the volume;
+* ``max_abs`` and ``finite`` — the NaN/Inf/blowup sentinels the
+  resilience layer's blowup guard consumes.
+
+All quantities decompose over block decompositions as plain sums and
+maxes, so distributed rank programs record **local partials with zero
+extra communication** (the communication-count claims of the paper stay
+untouched) and the driver combines them after the run.  Combined values
+agree with the serial formulas up to floating-point summation order.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.state.standard_atmosphere import StandardAtmosphere
+
+_REFERENCE = StandardAtmosphere()
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """Global physics scalars after one model step."""
+
+    step: int
+    mass: float
+    energy: float
+    kinetic: float
+    available_potential: float
+    surface_potential: float
+    max_wind: float
+    max_abs: float
+    finite: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "step": self.step,
+            "mass": self.mass,
+            "energy": self.energy,
+            "kinetic": self.kinetic,
+            "available_potential": self.available_potential,
+            "surface_potential": self.surface_potential,
+            "max_wind": self.max_wind,
+            "max_abs": self.max_abs,
+            "finite": self.finite,
+        }
+
+
+def block_partials(state, grid, sigma, extent=None) -> dict:
+    """Local partial sums/maxes of one interior block (no communication).
+
+    ``state`` is an interior :class:`~repro.state.variables.ModelState`
+    (a rank's own block, or the global state with ``extent=None``).
+    The weights follow :mod:`repro.analysis.energy`: per-cell area
+    ``cell_area / nx`` horizontally, ``dsigma`` vertically.
+    """
+    area_rows = grid.cell_area() / grid.nx  # (ny,) per-cell area
+    dsig = sigma.dsigma
+    # The 2-D surface field belongs to the z-root blocks only: in a yz
+    # decomposition every z-block of a column sees the same psa, and
+    # counting it once per block would multiply the mass by pz.
+    owns_surface = extent is None or extent.z0 == 0
+    if extent is not None:
+        area_rows = area_rows[extent.y0: extent.y1]
+        dsig = dsig[extent.z0: extent.z1]
+    area2 = area_rows[:, None]
+    w3 = dsig[:, None, None] * area2[None]
+    wind_sq = state.U**2 + state.V**2
+    c_s = constants.R_DRY * _REFERENCE.t_surface_ref
+    finite = bool(
+        np.isfinite(state.U).all()
+        and np.isfinite(state.V).all()
+        and np.isfinite(state.Phi).all()
+        and np.isfinite(state.psa).all()
+    )
+    return {
+        "psa_area": (
+            float(np.sum(state.psa * area2)) if owns_surface else 0.0
+        ),
+        "kinetic": 0.5 * float(np.sum(wind_sq * w3)),
+        "available_potential": 0.5 * float(np.sum(state.Phi**2 * w3)),
+        "surface_potential": 0.5 * c_s * float(
+            np.sum((state.psa / constants.P_REFERENCE) ** 2 * area2)
+        ) if owns_surface else 0.0,
+        "max_wind_sq": float(np.max(wind_sq)),
+        "max_abs": state.max_abs(),
+        "finite": finite,
+    }
+
+
+def combine_partials(step: int, partials: list[dict], grid) -> TelemetryRecord:
+    """Reduce per-rank partials (or one global partial) to a record."""
+    total_area = float(np.sum(grid.cell_area()))
+    kinetic = sum(p["kinetic"] for p in partials)
+    ape = sum(p["available_potential"] for p in partials)
+    surf = sum(p["surface_potential"] for p in partials)
+    return TelemetryRecord(
+        step=step,
+        mass=sum(p["psa_area"] for p in partials) / total_area,
+        energy=kinetic + ape + surf,
+        kinetic=kinetic,
+        available_potential=ape,
+        surface_potential=surf,
+        max_wind=float(np.sqrt(max(p["max_wind_sq"] for p in partials))),
+        max_abs=max(p["max_abs"] for p in partials),
+        finite=all(p["finite"] for p in partials),
+    )
+
+
+def record_for_state(step: int, state, grid, sigma) -> TelemetryRecord:
+    """Telemetry record of one *global* interior state (serial path)."""
+    return combine_partials(step, [block_partials(state, grid, sigma)], grid)
+
+
+class TelemetrySeries:
+    """An append-only time series of :class:`TelemetryRecord`."""
+
+    def __init__(self) -> None:
+        self.records: list[TelemetryRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, record: TelemetryRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records) -> None:
+        self.records.extend(records)
+
+    def steps(self) -> list[int]:
+        return [r.step for r in self.records]
+
+    def column(self, name: str) -> list:
+        return [getattr(r, name) for r in self.records]
+
+    def first_nonfinite_step(self) -> int | None:
+        """The earliest recorded step with NaN/Inf fields, or ``None``."""
+        for r in self.records:
+            if not r.finite:
+                return r.step
+        return None
+
+    def as_dicts(self) -> list[dict]:
+        return [r.as_dict() for r in self.records]
+
+    def summary(self) -> str:
+        if not self.records:
+            return "telemetry: (empty)"
+        first, last = self.records[0], self.records[-1]
+        drift = (
+            (last.energy - first.energy) / first.energy
+            if first.energy
+            else 0.0
+        )
+        lines = [
+            f"telemetry: {len(self.records)} steps "
+            f"[{first.step}..{last.step}]",
+            f"  mass    {first.mass:+.6e} -> {last.mass:+.6e}",
+            f"  energy  {first.energy:.6e} -> {last.energy:.6e} "
+            f"(drift {drift:+.3%})",
+            f"  max|V|  peak {max(r.max_wind for r in self.records):.3f} m/s",
+        ]
+        bad = self.first_nonfinite_step()
+        if bad is not None:
+            lines.append(f"  NON-FINITE fields first seen at step {bad}")
+        return "\n".join(lines)

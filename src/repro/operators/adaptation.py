@@ -23,6 +23,7 @@ import numpy as np
 
 from repro import constants
 from repro.constants import ModelParameters
+from repro.obs.spans import traced
 from repro.operators.geometry import WorkingGeometry
 from repro.operators.staggering import (
     ddx_c2c,
@@ -80,6 +81,7 @@ class AdaptationGeomCache:
         self.sig_mid3 = geom.lev3(geom.sigma_mid)
 
 
+@traced("adaptation-op", "operator")
 def adaptation_tendency(
     state: ModelState,
     vd: VerticalDiagnostics,

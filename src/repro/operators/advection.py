@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.spans import traced
 from repro.operators.geometry import WorkingGeometry
 from repro.operators.shifts import sx_into, sy_into
 from repro.operators.staggering import (
@@ -130,6 +131,7 @@ class AdvectionGeomCache:
         self.dsig3 = geom.lev3(geom.dsigma)
 
 
+@traced("advection-op", "operator")
 def advection_tendency(
     state: ModelState,
     vd: VerticalDiagnostics,

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import ModelParameters
+from repro.obs.spans import traced
 from repro.operators.shifts import sx, sx_into, sy, sy_into
 from repro.state.variables import ModelState
 
@@ -212,6 +213,7 @@ def smooth_full(
     )
 
 
+@traced("smoothing", "operator")
 def smooth_state(state: ModelState, params: ModelParameters) -> ModelState:
     """``S`` with the per-field smoothers of ``params``."""
     sm = smoothers_for(params)
@@ -223,6 +225,7 @@ def smooth_state(state: ModelState, params: ModelParameters) -> ModelState:
     )
 
 
+@traced("smoothing", "operator")
 def smooth_state_into(
     state: ModelState,
     params: ModelParameters,

@@ -23,6 +23,7 @@ from typing import Callable
 import numpy as np
 
 from repro import constants
+from repro.obs.spans import traced
 from repro.operators.geometry import WorkingGeometry
 from repro.operators.shifts import sx_into, sy_into
 from repro.operators.staggering import ddx_u2c, ddy_v2c, to_u, to_v
@@ -121,6 +122,7 @@ def divergence_dp(
     return (dflux_x + dflux_y) / (a * geom.row3(geom.sin_c))
 
 
+@traced("vertical", "operator")
 def compute_vertical_diagnostics(
     U: np.ndarray,
     V: np.ndarray,
@@ -366,6 +368,7 @@ def _compute_vertical_diagnostics_ws(
     )
 
 
+@traced("vertical-scan", "operator")
 def compute_vertical_diagnostics_scan(
     U: np.ndarray,
     V: np.ndarray,

@@ -19,7 +19,10 @@ speedups just move the baseline the next time it is refreshed.
 from __future__ import annotations
 
 import json
+import os
 import platform
+import socket
+import subprocess
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -189,6 +192,34 @@ def bench_core(mesh: MeshSpec, algorithm: str, nprocs: int, nsteps: int) -> dict
 # ---------------------------------------------------------------------------
 # report assembly / IO / regression gate
 # ---------------------------------------------------------------------------
+def _git_sha() -> str | None:
+    """Short commit SHA of the working tree, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def machine_info() -> dict:
+    """Provenance of one benchmark report: where and on what it ran."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "hostname": socket.gethostname(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+    }
+
+
 def run_benchmarks(quick: bool = False, repeats: int = 1) -> dict:
     """The full benchmark suite; ``quick`` trims it to CI size."""
     meshes = [SMALL] if quick else [SMALL, MEDIUM]
@@ -203,11 +234,7 @@ def run_benchmarks(quick: bool = False, repeats: int = 1) -> dict:
         "schema_version": SCHEMA_VERSION,
         "quick": quick,
         "bench_seed": BENCH_SEED,
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        "machine": machine_info(),
         "cases": cases,
     }
 

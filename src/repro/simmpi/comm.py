@@ -13,6 +13,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.obs.spans import span as obs_span
 from repro.simmpi.collectives import (
     GroupContext,
     REDUCE_OPS,
@@ -99,9 +100,10 @@ class Request:
         if self._done:
             return self._payload
         self._comm._fault_hook()
-        msg = self._comm._world.mailboxes[self._comm.rank].collect(
-            self._source, self._tag, self._comm._world.timeout
-        )
+        with obs_span("recv-wait", "simmpi"):
+            msg = self._comm._world.mailboxes[self._comm.rank].collect(
+                self._source, self._tag, self._comm._world.timeout
+            )
         comm = self._comm
         if msg.checksum is not None and payload_checksum(msg.payload) != msg.checksum:
             from repro.simmpi.faults import FaultEvent
@@ -344,15 +346,16 @@ class SubComm:
             duration *= factor
         gen = self._next_generation()
         t_before = comm.clock
-        result, t_end = ctx.execute(
-            gen,
-            comm.rank,
-            comm.clock,
-            contribution,
-            combine,
-            duration,
-            comm._world.timeout,
-        )
+        with obs_span("collective", "simmpi"):
+            result, t_end = ctx.execute(
+                gen,
+                comm.rank,
+                comm.clock,
+                contribution,
+                combine,
+                duration,
+                comm._world.timeout,
+            )
         comm.clock = max(comm.clock, t_end)
         elapsed = comm.clock - t_before
         comm.stats.collective_time += elapsed

@@ -40,11 +40,14 @@ checkpoint and complete (the "replaced node" model).
 """
 from __future__ import annotations
 
+import logging
 import math
 import threading
 from dataclasses import dataclass
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 
 class RankCrash(RuntimeError):
@@ -265,6 +268,10 @@ class FaultInjector:
                 if i in self._fired_crashes:
                     continue
                 self._fired_crashes.add(i)
+            logger.warning(
+                "injected crash on rank %d (t=%.6g, call %d, attempt %d)",
+                rank, clock, ncalls, self.attempt,
+            )
             return FaultEvent(
                 rank, "crash", clock, self.attempt,
                 f"t={clock:.6g} call={ncalls} attempt={self.attempt}",
@@ -287,6 +294,10 @@ class FaultInjector:
             rng = self._rng(rank)
             if f.drop_probability > 0 and rng.random() < f.drop_probability:
                 action = "drop"
+                logger.info(
+                    "injected message drop on link %d->%d (%d B, t=%.6g)",
+                    rank, dest, nbytes, clock,
+                )
                 events.append(FaultEvent(
                     rank, "drop", clock, self.attempt,
                     f"link {rank}->{dest} ({nbytes} B)",
@@ -295,6 +306,11 @@ class FaultInjector:
             if f.corrupt_probability > 0 and rng.random() < f.corrupt_probability:
                 action = "corrupt"
                 corrupt_mode = f.corrupt_mode
+                logger.info(
+                    "injected payload corruption on link %d->%d "
+                    "(mode=%s, t=%.6g)",
+                    rank, dest, f.corrupt_mode, clock,
+                )
                 events.append(FaultEvent(
                     rank, "corrupt", clock, self.attempt,
                     f"link {rank}->{dest} mode={f.corrupt_mode}",
@@ -336,6 +352,10 @@ class FaultInjector:
             if w.active(clock) and w.applies_to(rank):
                 factor *= max(w.alpha_factor, w.beta_factor)
                 if self._note_once(("degrade", rank, wi)):
+                    logger.debug(
+                        "degraded collective on rank %d in window "
+                        "[%.6g, %.6g)", rank, w.t_start, w.t_end,
+                    )
                     events.append(FaultEvent(
                         rank, "degrade", clock, self.attempt,
                         f"collective window [{w.t_start:.6g}, {w.t_end:.6g})",
@@ -352,6 +372,10 @@ class FaultInjector:
             if s.active(rank, clock):
                 factor *= s.slowdown
                 if self._note_once(("straggle", rank, si)):
+                    logger.debug(
+                        "rank %d straggling x%g from t=%.6g",
+                        rank, s.slowdown, clock,
+                    )
                     events.append(FaultEvent(
                         rank, "straggle", clock, self.attempt,
                         f"slowdown x{s.slowdown:g} from t={clock:.6g}",

@@ -19,6 +19,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs.spans import set_rank
 from repro.simmpi.comm import SimComm, SimWorld
 from repro.simmpi.faults import FaultInjector, FaultPlan
 from repro.simmpi.machine import LAPTOP_LIKE, MachineModel
@@ -160,6 +161,9 @@ def run_spmd(
     failures_lock = threading.Lock()
 
     def runner(rank: int) -> None:
+        # Label wall-clock spans with the simulated rank; restore after —
+        # the serial fast path runs in the caller's thread.
+        prev_rank = set_rank(rank)
         try:
             results[rank] = fn(comms[rank], *args)
         except BaseException as exc:  # noqa: BLE001 - report everything to caller
@@ -168,6 +172,8 @@ def run_spmd(
                 exceptions[rank] = exc
             # fail fast: wake the surviving ranks out of blocked waits
             world.abort(f"rank {rank} failed with {type(exc).__name__}: {exc}")
+        finally:
+            set_rank(prev_rank)
 
     if nranks == 1:
         # Fast path: no threads for serial runs.
