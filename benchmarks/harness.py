@@ -28,6 +28,7 @@ from repro.perf.wallclock import (  # noqa: E402
     compare_reports,
     load_report,
     run_benchmarks,
+    transport_overhead_violations,
     write_report,
 )
 
@@ -43,6 +44,20 @@ def _render(report: dict) -> str:
                     f"    {name:<11} seed {rec['seed_ms']:8.3f} ms   "
                     f"ws {rec['ws_ms']:8.3f} ms   x{rec['speedup']:.2f}"
                 )
+            continue
+        if case["kind"] == "transport_overhead":
+            tag = f"transport {case['algorithm']}@{case['nprocs']}"
+            lines.append(
+                f"  {tag:<28} [{case['mesh']:<6}] "
+                f"plain {case['plain_ms_per_step']:8.2f} ms/step   "
+                f"resilient {case['resilient_ms_per_step']:8.2f} ms/step"
+            )
+            lines.append(
+                f"  {'':<28} logical overhead "
+                f"{case['logical_overhead_frac'] * 100.0:+.3f}%   "
+                f"wall {case['wall_overhead_frac'] * 100.0:+.1f}% "
+                f"(informational)"
+            )
             continue
         tag = case["kind"] + (
             f" {case['algorithm']}@{case['nprocs']}" if "algorithm" in case
@@ -75,6 +90,9 @@ def main(argv: list[str] | None = None) -> int:
                     help="committed baseline JSON to gate against")
     ap.add_argument("--tolerance", type=float, default=0.2,
                     help="allowed fractional throughput drop (default 0.2)")
+    ap.add_argument("--transport-limit", type=float, default=0.05,
+                    help="max fault-free logical overhead of the reliable "
+                         "transport (default 0.05)")
     ap.add_argument("--check", default=None, metavar="REPORT",
                     help="compare an existing report only; run nothing")
     args = ap.parse_args(argv)
@@ -90,6 +108,18 @@ def main(argv: list[str] | None = None) -> int:
         path = write_report(report, out)
         print(f"wrote {path}")
     print(_render(report))
+
+    # absolute gate, no baseline needed: a clean run through the
+    # reliable transport must stay within --transport-limit of the raw
+    # network's logical makespan
+    violations = transport_overhead_violations(
+        report, limit=args.transport_limit
+    )
+    if violations:
+        print("\nTRANSPORT OVERHEAD over limit:")
+        for v in violations:
+            print(f"  {v}")
+        return 1
 
     if args.baseline is not None:
         regressions = compare_reports(

@@ -12,12 +12,24 @@ window plus a straggler rank, with tracing on, and render the Gantt
 timeline next to the clean schedule.  The injected X marks and the
 stretched compute/wait spans show exactly where the perturbation landed.
 
+Chaos mode (``--chaos``): run the escalation ladder under an aggressive
+seeded fault plan — background message drops and corruption on every
+link plus one rank crash — and verify that the whole run self-heals
+*without touching disk*: transients are absorbed by message-level
+retransmission and the crash by one in-memory buddy restore.  The
+process exits nonzero if any disk rollback happened or the result
+diverged, which makes it a CI gate; with ``--trace-dir`` the
+observability trace and event log are written there as artifacts.
+
 Usage::
 
     python examples/fault_tolerance.py [--steps 4] [--nprocs 4]
+    python examples/fault_tolerance.py --chaos --trace-dir chaos-artifacts/
 """
 import argparse
+import sys
 import tempfile
+from pathlib import Path
 
 from repro.constants import ModelParameters
 from repro.core.driver import DynamicalCore
@@ -28,6 +40,7 @@ from repro.simmpi import (
     CrashSpec,
     DegradedWindow,
     FaultPlan,
+    LinkFault,
     MachineModel,
     Straggler,
     run_spmd,
@@ -80,6 +93,77 @@ def demo_recovery(args) -> None:
               f"chunks: {diag.makespan:.3e} simulated s")
 
 
+def demo_chaos(args) -> int:
+    """Self-healing under drops + corruption + one crash; 0 on success."""
+    from repro.obs import ObsConfig
+
+    grid = LatLonGrid(nx=32, ny=16, nz=8)
+    params = ModelParameters(
+        dt_adaptation=60.0, dt_advection=60.0, m_iterations=1
+    )
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+
+    observe: ObsConfig | bool = True
+    if args.trace_dir:
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        observe = ObsConfig(
+            chrome_trace=str(trace_dir / "chaos_trace.json"),
+            jsonl=str(trace_dir / "chaos_events.jsonl"),
+        )
+
+    chaos = FaultPlan(
+        seed=7,
+        crashes=(CrashSpec(rank=1, at_attempt=2, at_call=5),),
+        link_faults=(LinkFault(
+            drop_probability=0.1, corrupt_probability=0.1,
+        ),),
+    )
+    print(f"== Chaos: 10% drops + 10% corruption on every link, rank 1 "
+          f"crashes in chunk 2 of {args.steps} ==")
+    with tempfile.TemporaryDirectory() as dref, \
+            tempfile.TemporaryDirectory() as dch:
+        ref_core = DynamicalCore(
+            grid, algorithm="original-yz", nprocs=args.nprocs, params=params
+        )
+        ref, _, _ = ref_core.run_resilient(
+            state0, args.steps,
+            ResilienceConfig(checkpoint_dir=dref, checkpoint_interval=1),
+        )
+        core = DynamicalCore(
+            grid, algorithm="original-yz", nprocs=args.nprocs,
+            params=params, observe=observe,
+        )
+        rec, _, report = core.run_resilient(
+            state0, args.steps,
+            ResilienceConfig(
+                checkpoint_dir=dch, checkpoint_interval=1, faults=chaos
+            ),
+        )
+        print(report.describe())
+        reg = core.observation.registry
+        retransmits = sum(
+            reg.counter("simmpi_retransmits_total", rank=str(r)).value
+            for r in range(args.nprocs)
+        )
+        diff = ref.max_difference(rec)
+        print(f"retransmits absorbed in place:  {retransmits:.0f}")
+        print(f"buddy restores (diskless):      {report.buddy_restores}")
+        print(f"disk rollbacks:                 {report.disk_rollbacks}")
+        print(f"max |recovered - fault-free| = {diff:.3e}  "
+              f"({'bit-identical' if diff == 0.0 else 'DIVERGED'})")
+        if args.trace_dir:
+            print(f"obs artifacts written to {args.trace_dir}")
+        ok = (
+            diff == 0.0
+            and report.buddy_restores == 1
+            and report.disk_rollbacks == 0
+        )
+        print("CHAOS GATE:", "PASS — healed without touching disk"
+              if ok else "FAIL")
+        return 0 if ok else 1
+
+
 def demo_perturbed_schedule(args) -> None:
     from repro.core.comm_avoiding import ca_rank_program
     from repro.core.distributed import DistributedConfig
@@ -128,10 +212,17 @@ def main() -> None:
     parser.add_argument("--width", type=int, default=72)
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized run (overrides size flags)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run only the chaos gate: drops + corruption "
+                             "+ one crash must heal with zero disk rollbacks")
+    parser.add_argument("--trace-dir", default=None,
+                        help="with --chaos: write obs trace artifacts here")
     args = parser.parse_args()
     if args.quick:
         args.steps = 3
         args.nprocs = 4
+    if args.chaos:
+        sys.exit(demo_chaos(args))
     demo_recovery(args)
     demo_perturbed_schedule(args)
 

@@ -1,0 +1,123 @@
+"""In-memory buddy checkpointing: diskless, partner-redundant state.
+
+Disk checkpoints survive anything but cost a full serialize/deserialize
+round trip per chunk and a rollback re-reads the whole state.  The
+standard in-memory alternative (Zheng et al.'s double in-memory
+checkpointing, as in Charm++/FTC-Charm++) keeps two copies of every
+rank's block: the *primary* on the owner and a *mirror* on its buddy
+rank.  A single rank crash then recovers by fetching the lost block from
+its buddy — no disk involved; only a simultaneous loss of a block's
+owner *and* its buddy (a double fault) forces the escalation to disk.
+
+:class:`BuddyStore` models that scheme at the driver level, mirroring
+how the resilient driver already owns disk checkpoints: it splits the
+gathered global state into per-rank blocks (the owner's primary copy)
+plus one mirror per block hosted on ``buddy_of(rank)``, and
+``drop_ranks`` simulates the memory loss of a crash — the crashed
+rank's primary *and* every mirror it hosted vanish.  ``restore`` then
+reassembles the global state from whatever copies survive, raising
+:class:`BuddyLost` when neither copy of some block exists.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.decomposition import Decomposition
+from repro.state.variables import ModelState
+
+
+class BuddyLost(RuntimeError):
+    """Both copies of some rank's block are gone — escalate to disk."""
+
+
+def buddy_of(rank: int, nranks: int) -> int:
+    """The partner hosting ``rank``'s mirror (next rank, ring order)."""
+    return (rank + 1) % nranks
+
+
+class BuddyStore:
+    """Per-rank block state with a mirror on each rank's buddy.
+
+    One store serves one resilient run; ``store`` overwrites the held
+    snapshot (only the last committed chunk boundary is recoverable,
+    matching the disk-checkpoint cadence).  A world of one rank has no
+    distinct buddy, so the store is inert there (``restore`` always
+    raises and the driver falls through to disk).
+    """
+
+    def __init__(self, decomp: Decomposition) -> None:
+        self.decomp = decomp
+        self.nranks = decomp.nranks
+        self.step: int | None = None
+        #: owner rank -> primary block fields (lost when the owner dies)
+        self._primary: dict[int, dict[str, np.ndarray]] = {}
+        #: owner rank -> mirror block fields (lost when buddy_of(owner) dies)
+        self._mirror: dict[int, dict[str, np.ndarray]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Buddy redundancy needs at least two distinct hosts."""
+        return self.nranks >= 2
+
+    def _block(self, state: ModelState, rank: int) -> dict[str, np.ndarray]:
+        d = self.decomp
+        return {
+            "U": d.scatter(state.U, rank),
+            "V": d.scatter(state.V, rank),
+            "Phi": d.scatter(state.Phi, rank),
+            "psa": d.scatter(state.psa, rank),
+        }
+
+    def store(self, step: int, state: ModelState) -> None:
+        """Snapshot ``state`` at chunk boundary ``step`` (primary + mirror)."""
+        if not self.enabled:
+            return
+        self.step = step
+        self._primary = {
+            r: self._block(state, r) for r in range(self.nranks)
+        }
+        self._mirror = {
+            r: {k: v.copy() for k, v in self._primary[r].items()}
+            for r in range(self.nranks)
+        }
+
+    def drop_ranks(self, crashed: tuple[int, ...]) -> None:
+        """Simulate the memory loss of crashed ranks: their primaries and
+        every mirror they hosted are gone."""
+        for k in crashed:
+            self._primary.pop(k, None)
+            for owner in range(self.nranks):
+                if buddy_of(owner, self.nranks) == k:
+                    self._mirror.pop(owner, None)
+
+    def restore(self, step: int) -> ModelState:
+        """Reassemble the global state for ``step`` from surviving copies.
+
+        Raises
+        ------
+        BuddyLost
+            When the store holds no snapshot, holds one for a different
+            step, or some block lost both its primary and its mirror.
+        """
+        if not self.enabled or self.step is None:
+            raise BuddyLost("no buddy snapshot held")
+        if self.step != step:
+            raise BuddyLost(
+                f"buddy snapshot is for step {self.step}, needed {step}"
+            )
+        blocks: list[dict[str, np.ndarray]] = []
+        for r in range(self.nranks):
+            block = self._primary.get(r) or self._mirror.get(r)
+            if block is None:
+                raise BuddyLost(
+                    f"block of rank {r} lost on both its owner and its "
+                    f"buddy (rank {buddy_of(r, self.nranks)})"
+                )
+            blocks.append(block)
+        d = self.decomp
+        return ModelState(
+            U=d.gather([b["U"] for b in blocks]),
+            V=d.gather([b["V"] for b in blocks]),
+            Phi=d.gather([b["Phi"] for b in blocks]),
+            psa=d.gather([b["psa"] for b in blocks]),
+        )

@@ -35,9 +35,13 @@ from repro.grid.latlon import LatLonGrid
 from repro.grid.sigma import SigmaLevels
 from repro.simmpi import MachineModel, run_spmd
 from repro.simmpi.machine import LAPTOP_LIKE
+from repro.simmpi.transport import TransportConfig
 from repro.state.variables import ModelState
 
 ALGORITHMS = ("serial", "original-yz", "original-xy", "original-3d", "ca")
+
+#: sentinel distinguishing "use the config's transport" from "explicitly None"
+_UNSET = object()
 
 
 @dataclass
@@ -54,6 +58,8 @@ class StepDiagnostics:
     synchronizations: int = 0
     c_calls: int = 0
     exchanges: int = 0
+    #: failed wire attempts healed by the reliable transport (sum over ranks)
+    retransmits: int = 0
 
     @property
     def comm_time(self) -> float:
@@ -76,6 +82,7 @@ class StepDiagnostics:
         self.synchronizations += other.synchronizations
         self.c_calls += other.c_calls
         self.exchanges += other.exchanges
+        self.retransmits += other.retransmits
 
 
 def default_spmd_timeout(nsteps: int) -> float:
@@ -105,6 +112,10 @@ class CoreConfig:
     timeout: float | None = None
     #: pool-backed fast path (bit-identical numerics; False = seed path)
     use_workspace: bool = True
+    #: reliable-transport policy for plain runs (``None`` = raw network;
+    #: the resilient driver supplies its own default, see
+    #: :class:`repro.core.resilience.ResilienceConfig`)
+    transport: TransportConfig | None = None
     #: observability: ``True``/:class:`~repro.obs.config.ObsConfig` turns
     #: on span tracing, metrics and physics telemetry (``None`` = off,
     #: near-zero overhead)
@@ -225,6 +236,7 @@ class DynamicalCore:
         *,
         faults=None,
         verify_checksums: bool = False,
+        transport=_UNSET,
         timeout: float | None = None,
         step0: int = 0,
     ) -> tuple[ModelState, StepDiagnostics, list | None]:
@@ -234,12 +246,17 @@ class DynamicalCore:
         stats list (None for the serial core) lets the resilient driver
         harvest fault events from successful chunks.  ``step0`` offsets
         the step numbers of telemetry records (chunked resilient runs).
+        ``transport`` overrides :attr:`CoreConfig.transport` when given
+        (the resilient driver passes its own policy, including an
+        explicit ``None`` for the raw network).
         """
+        if transport is _UNSET:
+            transport = self.config.transport
         with self._obs_scope() as obs:
             return self._run_once_observed(
                 state0, nsteps, obs,
                 faults=faults, verify_checksums=verify_checksums,
-                timeout=timeout, step0=step0,
+                transport=transport, timeout=timeout, step0=step0,
             )
 
     def _run_once_observed(
@@ -250,6 +267,7 @@ class DynamicalCore:
         *,
         faults,
         verify_checksums: bool,
+        transport,
         timeout: float | None,
         step0: int,
     ) -> tuple[ModelState, StepDiagnostics, list | None]:
@@ -318,6 +336,7 @@ class DynamicalCore:
             trace=obs is not None and obs.config.logical_trace,
             faults=faults,
             verify_checksums=verify_checksums,
+            transport=transport,
         )
         blocks = [r.state for r in result.results]
         gathered = ModelState(
@@ -342,6 +361,7 @@ class DynamicalCore:
             synchronizations=crit.synchronizations,
             c_calls=result.results[0].c_calls,
             exchanges=result.results[0].exchanges,
+            retransmits=sum(s.retransmits for s in result.stats),
         )
         if obs is not None:
             self._absorb_distributed(obs, result, step0)

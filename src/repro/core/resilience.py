@@ -1,39 +1,57 @@
-"""Checkpoint/restart resilience for :class:`~repro.core.driver.DynamicalCore`.
+"""Self-healing resilience for :class:`~repro.core.driver.DynamicalCore`.
 
-Long climate integrations survive node failures by periodically writing the
-gathered :class:`ModelState` to disk and, when a chunk of steps dies (rank
-crash, corrupted halo payload, deadlock), rolling back to the last committed
-checkpoint and re-running the chunk.  The recovery loop here mirrors that
-structure on the simulated cluster:
+Long climate integrations survive faults through an *escalation ladder*:
+each layer absorbs what it can locally and hands the rest up, so the
+expensive global recoveries run only when the cheap local ones fail:
 
-* the run is divided into chunks of ``checkpoint_interval`` model steps;
-* each chunk executes through ``DynamicalCore._run_once`` (so every
-  algorithm variant, serial included, gets the same resilience surface);
-* a chunk that raises a *retryable* failure — ``RankCrash``,
-  ``CorruptedMessage``, ``DeadlockError``, or any ``SpmdError`` carrying
-  one of these — triggers reload of the last checkpoint **from disk** and
-  a retry with exponential backoff;
-* a chunk that completes but produces non-finite or exploding fields is
-  handled by ``blowup_policy``: ``"abort"`` raises :class:`BlowupError`,
-  ``"rollback"`` rewinds to the last checkpoint and retries (with a fresh
-  fault-injection attempt, so transient corruption does not recur);
-* committed chunks append a checkpoint; ``max_restarts`` bounds the total
-  number of recoveries before :class:`ResilienceExhausted` gives up.
+1. **message retransmit** (:mod:`repro.simmpi.transport`, on by default
+   here) — dropped or corrupted point-to-point payloads are retried at
+   the message level inside the running chunk; the application never
+   notices;
+2. **buddy restore** (:mod:`repro.core.buddy`) — each rank's block state
+   is mirrored in memory on a buddy rank at every chunk boundary, so a
+   rank crash (or any other chunk failure) rewinds *disklessly* by
+   reassembling the boundary state from surviving copies;
+3. **disk rollback** — the seed behavior, now the escalation path: when
+   the buddy snapshot cannot serve (double fault: a block's owner and
+   its buddy both lost), the last ``ckpt_XXXXXXXX.npz`` is reloaded;
+4. **abort** — ``max_restarts`` recoveries of any kind exhaust into
+   :class:`ResilienceExhausted`.
+
+The recovery loop divides the run into chunks of ``checkpoint_interval``
+steps; each chunk executes through ``DynamicalCore._run_once``.  A chunk
+that raises a *retryable* failure — ``RankCrash``, ``CorruptedMessage``,
+``MessageLost``, ``DeadlockError``, or any ``SpmdError`` carrying one —
+triggers a buddy-first rewind and a retry; a chunk that completes is
+vetted before commit:
+
+* the **blowup guard** (``blowup_policy``) rejects non-finite or
+  exploding fields, using the staged per-step telemetry to catch
+  mid-chunk excursions;
+* the **SDC acceptance gate** (``sdc_mass_tol`` / ``sdc_energy_tol``)
+  compares the chunk-end mass/energy against the last accepted chunk
+  boundary and rejects drifts beyond the tolerance (absolute for the
+  near-zero mass proxy, fractional for energy) — an ABFT-style check
+  that catches silent corruption checksums cannot see.
+
+Committed chunks refresh the buddy mirror and append a disk checkpoint.
 
 Determinism: because the simulated cluster advances logical clocks only,
-a restart replays the chunk bit-identically when no new faults fire —
-the property tests assert crash-interrupted runs end byte-equal to
-fault-free ones.
+a retry replays the chunk bit-identically when no new faults fire — the
+property tests assert crash-interrupted runs end byte-equal to
+fault-free ones, whether the rewind came from buddy memory or disk.
 """
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core.buddy import BuddyLost, BuddyStore
 from repro.core.driver import StepDiagnostics
+from repro.grid.sigma import SigmaLevels
 from repro.obs.spans import span
+from repro.obs.telemetry import TelemetryRecord, record_for_state
 from repro.simmpi.faults import (
     CorruptedMessage,
     FaultInjector,
@@ -41,7 +59,8 @@ from repro.simmpi.faults import (
     RankCrash,
 )
 from repro.simmpi.launcher import SpmdError
-from repro.simmpi.network import DeadlockError
+from repro.simmpi.network import DeadlockError, MessageLost
+from repro.simmpi.transport import TransportConfig
 from repro.state.io import (
     checkpoint_path,
     latest_checkpoint,
@@ -70,24 +89,42 @@ class ResilienceConfig:
     checkpoint_dir:
         Directory for ``ckpt_XXXXXXXX.npz`` files (created if missing).
     checkpoint_interval:
-        Model steps per chunk; a checkpoint is written after every
-        committed chunk.
+        Model steps per chunk; buddy mirrors refresh and a checkpoint is
+        written after every committed chunk.
     max_restarts:
         Total recoveries (of any kind) before giving up.
     backoff_base / backoff_factor / backoff_max:
-        Wall-clock sleep before retry ``k`` is
+        Settle time before retry ``k`` is
         ``min(backoff_base * backoff_factor**(k-1), backoff_max)``
-        seconds; the default base of 0 disables sleeping (the simulated
-        cluster needs no settle time, real deployments do).
+        seconds, charged to the *logical* makespan (the simulated
+        cluster must not block real wall-clock); the default base of 0
+        disables it.
     blowup_policy:
         ``"abort"`` or ``"rollback"`` — what to do when a chunk completes
         with non-finite fields or ``max_abs() > blowup_threshold``.
     blowup_threshold:
         Stability bound on the committed state's max absolute value.
     verify_halo_checksums:
-        Arm payload checksums on every simulated message, so in-flight
-        corruption of wide-halo exchanges surfaces as
-        ``CorruptedMessage`` instead of silently polluting the fields.
+        Payload checksums on every simulated message (default **on**: a
+        resilient run that cannot see corruption cannot heal it).  With
+        the reliable transport armed, a checksum failure is retransmitted
+        in place; set ``False`` to opt out and let silent corruption fall
+        through to the blowup/SDC gates.
+    transport:
+        Reliable-transport policy injected into every chunk (default: a
+        stock :class:`~repro.simmpi.transport.TransportConfig`, i.e.
+        message-level retransmit on).  ``None`` models the raw seed
+        network, making every drop/corruption escalate to a rollback.
+    buddy_checkpoints:
+        Keep the diskless buddy mirror (default on; it only engages on
+        distributed runs with at least two ranks).
+    sdc_mass_tol / sdc_energy_tol:
+        SDC acceptance gates, measured against the last accepted chunk
+        boundary: maximum *absolute* drift of the telemetry mass (the
+        mass proxy is a conserved perturbation mean that hovers near
+        zero, so a fractional test would be noise) and maximum
+        *fractional* drift of the total energy across one chunk.
+        ``None`` (default) disables a gate.
     faults:
         Optional :class:`FaultPlan`/:class:`FaultInjector` injected into
         every chunk.  A plan is converted to ONE injector up front, so
@@ -109,7 +146,11 @@ class ResilienceConfig:
     backoff_max: float = 2.0
     blowup_policy: str = "rollback"
     blowup_threshold: float = 1e8
-    verify_halo_checksums: bool = False
+    verify_halo_checksums: bool = True
+    transport: TransportConfig | None = field(default_factory=TransportConfig)
+    buddy_checkpoints: bool = True
+    sdc_mass_tol: float | None = None
+    sdc_energy_tol: float | None = None
     faults: FaultPlan | FaultInjector | None = None
     spmd_timeout: float | None = None
     resume: bool = False
@@ -122,6 +163,10 @@ class ResilienceConfig:
                 f"blowup_policy must be 'abort' or 'rollback', "
                 f"got {self.blowup_policy!r}"
             )
+        for name in ("sdc_mass_tol", "sdc_energy_tol"):
+            tol = getattr(self, name)
+            if tol is not None and tol <= 0:
+                raise ValueError(f"{name} must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -129,9 +174,10 @@ class RestartRecord:
     """One recovery event of the resilient driver."""
 
     step: int          # model step the run was rewound to
-    kind: str          # "crash" | "corruption" | "deadlock" | "blowup"
+    kind: str          # "crash" | "corruption" | "loss" | "deadlock" | "blowup" | "sdc"
     attempt: int       # retry count for the failing chunk (1-based)
     detail: str = ""
+    source: str = "disk"   # where the rewound state came from: "buddy" | "disk"
 
 
 @dataclass
@@ -143,6 +189,10 @@ class ResilienceReport:
     chunk_makespans: list[float] = field(default_factory=list)
     fault_events: list = field(default_factory=list)
     resumed_from_step: int = 0
+    buddy_restores: int = 0
+    disk_rollbacks: int = 0
+    #: logical seconds charged to the makespan by retry backoff
+    backoff_time: float = 0.0
 
     @property
     def nrestarts(self) -> int:
@@ -152,12 +202,13 @@ class ResilienceReport:
         lines = [
             f"chunks committed: {len(self.chunk_makespans)}",
             f"checkpoints written: {len(self.checkpoints)}",
-            f"restarts: {self.nrestarts}",
+            f"restarts: {self.nrestarts} "
+            f"({self.buddy_restores} buddy, {self.disk_rollbacks} disk)",
         ]
         for r in self.restarts:
             lines.append(
-                f"  rewound to step {r.step} ({r.kind}, attempt "
-                f"{r.attempt}): {r.detail}"
+                f"  rewound to step {r.step} from {r.source} ({r.kind}, "
+                f"attempt {r.attempt}): {r.detail}"
             )
         if self.fault_events:
             lines.append(f"fault events observed: {len(self.fault_events)}")
@@ -170,6 +221,8 @@ def _classify(exc: BaseException) -> str | None:
         return "crash"
     if isinstance(exc, CorruptedMessage):
         return "corruption"
+    if isinstance(exc, MessageLost):
+        return "loss"
     if isinstance(exc, DeadlockError):
         return "deadlock"
     if isinstance(exc, FloatingPointError):
@@ -182,9 +235,9 @@ def classify_failure(exc: BaseException) -> str | None:
 
     For an :class:`SpmdError` the *root cause* wins: a rank crash aborts
     every surviving rank with a ``DeadlockError``, so crash outranks
-    corruption outranks deadlock when classifying the per-rank
-    exceptions.  Returns ``None`` for failures that should propagate
-    (programming errors, bad configuration, ...).
+    corruption outranks message loss outranks deadlock when classifying
+    the per-rank exceptions.  Returns ``None`` for failures that should
+    propagate (programming errors, bad configuration, ...).
     """
     if isinstance(exc, SpmdError):
         kinds = {
@@ -192,11 +245,30 @@ def classify_failure(exc: BaseException) -> str | None:
             for k in map(_classify, exc.exceptions.values())
             if k is not None
         }
-        for kind in ("crash", "corruption", "blowup", "deadlock"):
+        for kind in ("crash", "corruption", "loss", "blowup", "deadlock"):
             if kind in kinds:
                 return kind
         return None
     return _classify(exc)
+
+
+def crashed_ranks(exc: BaseException) -> tuple[int, ...]:
+    """The ranks that died of an injected crash in ``exc`` (sorted)."""
+    if isinstance(exc, SpmdError):
+        return tuple(sorted(
+            r for r, e in exc.exceptions.items()
+            if r >= 0 and isinstance(e, RankCrash)
+        ))
+    if isinstance(exc, RankCrash):
+        return (exc.rank,)
+    return ()
+
+
+#: retryable exception types of one chunk run
+_RETRYABLE = (
+    SpmdError, RankCrash, CorruptedMessage, MessageLost, DeadlockError,
+    FloatingPointError,
+)
 
 
 def run_resilient(
@@ -205,7 +277,7 @@ def run_resilient(
     nsteps: int,
     rcfg: ResilienceConfig,
 ) -> tuple[ModelState, StepDiagnostics, ResilienceReport]:
-    """Advance ``nsteps`` with checkpointing and restart-on-failure.
+    """Advance ``nsteps`` with the full escalation ladder armed.
 
     ``core`` is a :class:`~repro.core.driver.DynamicalCore`.  Returns the
     final gathered state, diagnostics accumulated over committed chunks
@@ -223,6 +295,36 @@ def run_resilient(
         else rcfg.faults
     )
 
+    decomp = core.config.resolve_decomposition()
+    buddy: BuddyStore | None = None
+    if rcfg.buddy_checkpoints and decomp.nranks >= 2:
+        buddy = BuddyStore(decomp)
+    sdc_armed = (
+        rcfg.sdc_mass_tol is not None or rcfg.sdc_energy_tol is not None
+    )
+    sigma = (
+        core.config.sigma
+        if core.config.sigma is not None
+        else SigmaLevels.uniform(core.config.grid.nz)
+    )
+
+    logger.info(
+        "resilient run: %d step(s), chunks of %d — integrity mode: "
+        "payload checksums %s, reliable transport %s, buddy checkpoints "
+        "%s, SDC gates %s",
+        nsteps, rcfg.checkpoint_interval,
+        "ON" if rcfg.verify_halo_checksums else "OFF",
+        "ON" if rcfg.transport is not None and rcfg.transport.reliable
+        else "OFF",
+        "ON" if buddy is not None else "OFF",
+        "ON" if sdc_armed else "OFF",
+    )
+
+    def _metric(name: str, help: str, **labels) -> None:
+        obs = core.observation
+        if obs is not None and obs.config.metrics:
+            obs.registry.counter(name, help, **labels).inc()
+
     step = 0
     state = state0
     resumed = False
@@ -236,11 +338,19 @@ def run_resilient(
         path = checkpoint_path(ckdir, 0)
         save_state(path, state0, step=0)
         report.checkpoints.append((0, path))
+    if buddy is not None:
+        buddy.store(step, state)
+    accepted: TelemetryRecord | None = (
+        record_for_state(step, state, core.config.grid, sigma)
+        if sdc_armed else None
+    )
 
     restarts_left = rcfg.max_restarts
     chunk_attempt = 1
 
-    def _recover(kind: str, detail: str) -> ModelState:
+    def _recover(
+        kind: str, detail: str, crashed: tuple[int, ...] = ()
+    ) -> ModelState:
         nonlocal restarts_left, chunk_attempt
         core._discard_observation()
         if restarts_left <= 0:
@@ -255,35 +365,71 @@ def run_resilient(
             )
         restarts_left -= 1
         logger.warning(
-            "chunk at step %d failed (%s, attempt %d): %s — rolling back",
+            "chunk at step %d failed (%s, attempt %d): %s — rewinding",
             step, kind, chunk_attempt, detail,
         )
-        report.restarts.append(
-            RestartRecord(step=step, kind=kind, attempt=chunk_attempt,
-                          detail=detail)
-        )
         if rcfg.backoff_base > 0.0:
-            delay = min(
+            # Settle time is logical: it lands in the makespan, never in
+            # wall-clock (the simulated cluster must not sleep for real).
+            report.backoff_time += min(
                 rcfg.backoff_base * rcfg.backoff_factor ** (chunk_attempt - 1),
                 rcfg.backoff_max,
             )
-            time.sleep(delay)
         chunk_attempt += 1
-        # Reload from disk on purpose: recovery must exercise the same
-        # path a process restarted from scratch would take.
-        with span("rollback", "resilience"):
-            found = latest_checkpoint(ckdir)
-            if found is None:
-                raise ResilienceExhausted(
-                    f"no checkpoint to roll back to in {ckdir}"
+
+        restored: ModelState | None = None
+        source = "disk"
+        if buddy is not None:
+            if crashed:
+                buddy.drop_ranks(crashed)
+            try:
+                with span("buddy-restore", "resilience"):
+                    restored = buddy.restore(step)
+                source = "buddy"
+                report.buddy_restores += 1
+                logger.info(
+                    "restored step %d from buddy memory (crashed ranks: %s)",
+                    step, list(crashed) or "none",
                 )
-            restored, saved_step = load_state(found[0])
-        if saved_step != step:
-            raise ResilienceExhausted(
-                f"latest checkpoint is for step {saved_step}, "
-                f"expected step {step} — checkpoint directory corrupted?"
+            except BuddyLost as why:
+                logger.warning(
+                    "buddy restore unavailable at step %d (%s) — "
+                    "escalating to disk rollback", step, why,
+                )
+        if restored is None:
+            # The escalation path: reload from disk, exactly as a process
+            # restarted from scratch would.
+            with span("rollback", "resilience"):
+                found = latest_checkpoint(ckdir)
+                if found is None:
+                    raise ResilienceExhausted(
+                        f"no checkpoint to roll back to in {ckdir}"
+                    )
+                restored, saved_step = load_state(found[0])
+            if saved_step != step:
+                raise ResilienceExhausted(
+                    f"latest checkpoint is for step {saved_step}, "
+                    f"expected step {step} — checkpoint directory corrupted?"
+                )
+            report.disk_rollbacks += 1
+            logger.info(
+                "restored checkpoint for step %d from %s", step, found[0]
             )
-        logger.info("restored checkpoint for step %d from %s", step, found[0])
+        report.restarts.append(
+            RestartRecord(step=step, kind=kind, attempt=chunk_attempt - 1,
+                          detail=detail, source=source)
+        )
+        _metric("resilience_restarts_total", "chunk recoveries", kind=kind)
+        _metric(
+            "resilience_buddy_restores_total"
+            if source == "buddy" else "resilience_disk_rollbacks_total",
+            "diskless buddy restores"
+            if source == "buddy" else "disk checkpoint rollbacks",
+        )
+        if buddy is not None:
+            # Re-mirror: the replacement rank needs a fresh primary and
+            # every surviving rank a fresh mirror of it.
+            buddy.store(step, restored)
         return restored
 
     # Activate the core's span tracer for the whole resilient run, so the
@@ -299,11 +445,11 @@ def run_resilient(
                         chunk,
                         faults=injector,
                         verify_checksums=rcfg.verify_halo_checksums,
+                        transport=rcfg.transport,
                         timeout=rcfg.spmd_timeout,
                         step0=step,
                     )
-            except (SpmdError, RankCrash, CorruptedMessage, DeadlockError,
-                    FloatingPointError) as exc:
+            except _RETRYABLE as exc:
                 kind = classify_failure(exc)
                 if kind is None:
                     raise
@@ -316,7 +462,9 @@ def run_resilient(
                         f"model blew up in chunk starting at step {step}: "
                         f"{exc}"
                     ) from exc
-                state = _recover(kind, str(exc).splitlines()[0])
+                state = _recover(
+                    kind, str(exc).splitlines()[0], crashed_ranks(exc)
+                )
                 continue
 
             if stats is not None:
@@ -335,17 +483,37 @@ def run_resilient(
                 state = _recover("blowup", detail)
                 continue
 
+            # SDC acceptance gate: vet the chunk-end invariants against
+            # the last accepted boundary before committing anything.
+            candidate: TelemetryRecord | None = None
+            if sdc_armed:
+                candidate = record_for_state(
+                    step + chunk, new_state, core.config.grid, sigma
+                )
+                detail = _sdc_detail(candidate, accepted, rcfg)
+                if detail is not None:
+                    _metric(
+                        "resilience_sdc_rejections_total",
+                        "chunks rejected by the SDC acceptance gate",
+                    )
+                    state = _recover("sdc", detail)
+                    continue
+
             # Commit the chunk.
             step += chunk
             state = new_state
+            accepted = candidate
             diag.accumulate(chunk_diag)
             report.chunk_makespans.append(chunk_diag.makespan)
+            if buddy is not None:
+                buddy.store(step, state)
             path = checkpoint_path(ckdir, step)
             save_state(path, state, step=step)
             report.checkpoints.append((step, path))
             core._commit_observation()
             chunk_attempt = 1
 
+    diag.makespan += report.backoff_time
     obs = getattr(core, "_observation", None)
     if obs is not None:
         obs.finalize_outputs()
@@ -375,5 +543,38 @@ def _blowup_detail(core, new_state: ModelState, rcfg: ResilienceConfig) -> str |
             return (
                 f"telemetry: max |field| = {rec.max_abs:.3e} "
                 f"> {rcfg.blowup_threshold:.3e} at step {rec.step}"
+            )
+    return None
+
+
+def telemetry_drift(new: float, ref: float) -> float:
+    """Fractional drift of one telemetry invariant across a chunk."""
+    scale = max(abs(ref), abs(new), 1e-300)
+    return abs(new - ref) / scale
+
+
+def _sdc_detail(
+    candidate: TelemetryRecord,
+    accepted: TelemetryRecord | None,
+    rcfg: ResilienceConfig,
+) -> str | None:
+    """SDC-gate verdict on a completed chunk, or ``None`` when accepted."""
+    if accepted is None:
+        return None
+    if rcfg.sdc_mass_tol is not None:
+        # mass is a conserved perturbation mean near zero: gate on the
+        # absolute drift (a fractional test of ~0 is pure noise)
+        drift = abs(candidate.mass - accepted.mass)
+        if drift > rcfg.sdc_mass_tol:
+            return (
+                f"mass drift {drift:.3e} > tolerance "
+                f"{rcfg.sdc_mass_tol:.3e} over one chunk"
+            )
+    if rcfg.sdc_energy_tol is not None:
+        drift = telemetry_drift(candidate.energy, accepted.energy)
+        if drift > rcfg.sdc_energy_tol:
+            return (
+                f"energy drift {drift:.3e} > tolerance "
+                f"{rcfg.sdc_energy_tol:.3e} over one chunk"
             )
     return None

@@ -224,6 +224,12 @@ def absorb_comm_stats(registry: MetricsRegistry, stats, rank: int) -> None:
          "forced waits on another rank"),
         ("faults_injected", "simmpi_faults_total",
          "injected/detected fault events"),
+        ("retransmits", "simmpi_retransmits_total",
+         "failed wire attempts re-sent by the reliable transport"),
+        ("breaker_trips", "simmpi_breaker_trips_total",
+         "per-link circuit breakers tripped open"),
+        ("messages_lost", "simmpi_messages_lost_total",
+         "permanently lost messages detected as sequence gaps"),
     ):
         registry.counter(name, help, rank=r).inc(getattr(stats, field))
     for field, name, help in (
@@ -233,6 +239,8 @@ def absorb_comm_stats(registry: MetricsRegistry, stats, rank: int) -> None:
          "logical point-to-point seconds"),
         ("collective_time", "simmpi_collective_seconds_total",
          "logical collective seconds"),
+        ("retransmit_time", "simmpi_retransmit_seconds_total",
+         "logical seconds lost to retransmit detection and backoff"),
     ):
         registry.counter(name, help, rank=r).inc(getattr(stats, field))
     for tag, seconds in stats.tagged_time.items():

@@ -190,6 +190,74 @@ def bench_core(mesh: MeshSpec, algorithm: str, nprocs: int, nsteps: int) -> dict
 
 
 # ---------------------------------------------------------------------------
+# fault-free overhead of the reliable transport
+# ---------------------------------------------------------------------------
+def bench_transport_overhead(mesh: MeshSpec, nsteps: int) -> dict:
+    """Cost of the reliable transport on a clean network.
+
+    Runs the same distributed program twice — once on the raw network
+    (``transport=None``) and once with the sequence-numbered retransmit
+    layer armed — with no faults injected.  The *logical* makespans are
+    deterministic (a fault-free reliable send pays no retransmissions,
+    so they should be identical); the wall-clock numbers are reported
+    for context but are too noisy to gate on shared runners.
+    """
+    from repro.core.driver import DynamicalCore
+    from repro.simmpi import TransportConfig
+
+    grid = _grid(mesh)
+    s0 = _initial(grid)
+    wall: dict[str, float] = {}
+    logical: dict[str, float] = {}
+    for label, transport in (("plain", None), ("resilient", TransportConfig())):
+        core = DynamicalCore(
+            grid, algorithm="original-yz", nprocs=2, transport=transport
+        )
+        core.run(s0, 1)  # warmup
+        t0 = time.perf_counter()
+        _, diag = core.run(s0, nsteps)
+        wall[label] = (time.perf_counter() - t0) / nsteps
+        logical[label] = diag.makespan
+    return {
+        "kind": "transport_overhead",
+        "mesh": mesh.name,
+        "algorithm": "original-yz",
+        "nprocs": 2,
+        "timed_steps": nsteps,
+        "plain_ms_per_step": wall["plain"] * 1e3,
+        "resilient_ms_per_step": wall["resilient"] * 1e3,
+        "plain_makespan": logical["plain"],
+        "resilient_makespan": logical["resilient"],
+        "logical_overhead_frac": (
+            (logical["resilient"] - logical["plain"]) / logical["plain"]
+        ),
+        "wall_overhead_frac": wall["resilient"] / wall["plain"] - 1.0,
+    }
+
+
+def transport_overhead_violations(report: dict, limit: float = 0.05) -> list[str]:
+    """Transport-overhead cases whose *logical* overhead exceeds ``limit``.
+
+    This gate is absolute (no baseline needed): the simulated clocks are
+    deterministic, so a clean run through the reliable transport must
+    cost within ``limit`` of the raw network — today it costs exactly
+    nothing, and this keeps it honest.
+    """
+    violations = []
+    for case in report["cases"]:
+        if case.get("kind") != "transport_overhead":
+            continue
+        frac = case["logical_overhead_frac"]
+        if frac > limit:
+            violations.append(
+                f"{case_key(case)}: resilient transport costs "
+                f"{frac * 100.0:.2f}% logical makespan on a clean network "
+                f"(limit {limit * 100.0:.0f}%)"
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # report assembly / IO / regression gate
 # ---------------------------------------------------------------------------
 def _git_sha() -> str | None:
@@ -230,6 +298,7 @@ def run_benchmarks(quick: bool = False, repeats: int = 1) -> dict:
     dist_steps = 1 if quick else 2
     cases.append(bench_core(SMALL, "original-yz", 2, dist_steps))
     cases.append(bench_core(CA_SMALL, "ca", 2, dist_steps))
+    cases.append(bench_transport_overhead(SMALL, nsteps=dist_steps))
     return {
         "schema_version": SCHEMA_VERSION,
         "quick": quick,

@@ -23,7 +23,8 @@ Public API
 """
 from repro.simmpi.machine import MachineModel, TIANHE2_LIKE, LAPTOP_LIKE
 from repro.simmpi.stats import CommStats
-from repro.simmpi.network import DeadlockError, Message
+from repro.simmpi.network import DeadlockError, Message, MessageLost
+from repro.simmpi.transport import LinkHealth, TransportConfig
 from repro.simmpi.faults import (
     CorruptedMessage,
     CrashSpec,
@@ -50,6 +51,9 @@ __all__ = [
     "CommStats",
     "DeadlockError",
     "Message",
+    "MessageLost",
+    "TransportConfig",
+    "LinkHealth",
     "FaultPlan",
     "FaultInjector",
     "FaultEvent",

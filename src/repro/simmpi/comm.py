@@ -20,10 +20,22 @@ from repro.simmpi.collectives import (
     collective_cost,
     combine_gather,
 )
-from repro.simmpi.faults import CorruptedMessage, FaultInjector, RankCrash
+from repro.simmpi.faults import (
+    CorruptedMessage,
+    FaultEvent,
+    FaultInjector,
+    RankCrash,
+)
 from repro.simmpi.machine import MachineModel
-from repro.simmpi.network import AbortFlag, Mailbox, Message, payload_checksum
+from repro.simmpi.network import (
+    AbortFlag,
+    Mailbox,
+    Message,
+    MessageLost,
+    payload_checksum,
+)
 from repro.simmpi.stats import CommStats
+from repro.simmpi.transport import LinkHealth, TransportConfig, detection_delay
 
 
 class SimWorld:
@@ -36,6 +48,7 @@ class SimWorld:
         timeout: float = 120.0,
         injector: FaultInjector | None = None,
         verify_checksums: bool = False,
+        transport: TransportConfig | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
@@ -44,6 +57,7 @@ class SimWorld:
         self.timeout = timeout
         self.injector = injector
         self.verify_checksums = verify_checksums
+        self.transport = transport
         self.abort_flag = AbortFlag()
         self.mailboxes = [Mailbox(r, abort=self.abort_flag) for r in range(nranks)]
         self._groups: dict[tuple[int, ...], GroupContext] = {}
@@ -95,7 +109,10 @@ class Request:
         """Complete the operation; returns the payload for irecv.
 
         Raises :class:`~repro.simmpi.faults.CorruptedMessage` when
-        integrity checking is on and the payload fails its checksum.
+        integrity checking is on and the payload fails its checksum, and
+        :class:`~repro.simmpi.network.MessageLost` when reliable
+        transport is on and the message's sequence number shows an
+        upstream message was permanently dropped.
         """
         if self._done:
             return self._payload
@@ -105,9 +122,26 @@ class Request:
                 self._source, self._tag, self._comm._world.timeout
             )
         comm = self._comm
+        transport = comm._world.transport
+        if transport is not None and transport.reliable:
+            key = (self._source, self._tag)
+            expected = comm._recv_seq.get(key, 0)
+            if msg.seq != expected:
+                comm.stats.messages_lost += max(1, msg.seq - expected)
+                comm._recv_seq[key] = msg.seq + 1
+                comm._record_fault(FaultEvent(
+                    comm.rank, "message-lost", comm.clock,
+                    comm._injector.attempt if comm._injector else 1,
+                    f"stream {self._source}->{comm.rank} tag {self._tag}: "
+                    f"got seq {msg.seq}, expected {expected}",
+                ))
+                raise MessageLost(
+                    f"rank {comm.rank}: message(s) from rank {self._source} "
+                    f"(tag {self._tag}) permanently lost — received seq "
+                    f"{msg.seq}, expected {expected}"
+                )
+            comm._recv_seq[key] = expected + 1
         if msg.checksum is not None and payload_checksum(msg.payload) != msg.checksum:
-            from repro.simmpi.faults import FaultEvent
-
             comm._record_fault(FaultEvent(
                 comm.rank, "corruption-detected", comm.clock,
                 comm._injector.attempt if comm._injector else 1,
@@ -153,6 +187,10 @@ class SimComm:
         self._injector = world.injector
         self._comm_calls = 0
         self.tracer = None  # TraceRecorder, attached by the launcher
+        # reliable-transport state (all single-threaded: owned by this rank)
+        self._send_seq: dict[tuple[int, int], int] = {}   # (dest, tag) -> next
+        self._recv_seq: dict[tuple[int, int], int] = {}   # (source, tag) -> next
+        self._link_health: dict[int, LinkHealth] = {}     # dest -> health
 
     # ---- fault plumbing ---------------------------------------------------
     def _record_fault(self, event) -> None:
@@ -215,22 +253,85 @@ class SimComm:
         return arr.copy()  # messages must not alias sender memory
 
     def send(self, dest: int, array: np.ndarray, tag: int = 0) -> None:
-        """Buffered send: the sender pays only the overhead ``alpha``."""
+        """Buffered send: the sender pays only the overhead ``alpha``.
+
+        Under a reliable :class:`~repro.simmpi.transport.TransportConfig`
+        a failed wire attempt (injected drop, or corruption with
+        checksums armed) is retransmitted with exponential backoff until
+        it delivers, the per-link retry budget runs out, or the link's
+        circuit breaker opens; each retry draws a *fresh* fault fate.  A
+        message the transport gives up on falls back to raw-network
+        semantics: a drop stays lost (the receiver detects the sequence
+        gap), a corruption is delivered for the receiver's checksum.
+        """
         self._fault_hook()
         payload = self._as_payload(array)
-        alpha_f = beta_f = 1.0
-        action = "deliver"
-        if self._injector is not None:
-            action, corrupt_mode, alpha_f, beta_f, events = (
-                self._injector.on_send(
-                    self.rank, dest, payload.nbytes, self.clock
-                )
-            )
-            for ev in events:
-                self._record_fault(ev)
+        transport = self._world.transport
+        reliable = transport is not None and transport.reliable
         checksum = (
             payload_checksum(payload) if self._world.verify_checksums else None
         )
+        health: LinkHealth | None = None
+        if reliable:
+            health = self._link_health.get(dest)
+            if health is None:
+                health = self._link_health[dest] = LinkHealth()
+        attempt = self._injector.attempt if self._injector is not None else 1
+        retry = 0
+        while True:
+            alpha_f = beta_f = 1.0
+            action = "deliver"
+            corrupt_mode = "scale"
+            if self._injector is not None:
+                action, corrupt_mode, alpha_f, beta_f, events = (
+                    self._injector.on_send(
+                        self.rank, dest, payload.nbytes, self.clock
+                    )
+                )
+                for ev in events:
+                    self._record_fault(ev)
+            # Corruption is only sender-visible when the receiver would
+            # NACK it, i.e. when payload checksums are armed; a drop is
+            # always noticed as a missing ack.
+            detectable = action == "drop" or (
+                action == "corrupt" and self._world.verify_checksums
+            )
+            if reliable and detectable:
+                if health.record_failure(transport.breaker_threshold):
+                    self.stats.breaker_trips += 1
+                    self._record_fault(FaultEvent(
+                        self.rank, "breaker-open", self.clock, attempt,
+                        f"link {self.rank}->{dest} after "
+                        f"{health.consecutive_failures} consecutive failures",
+                    ))
+                if health.open or retry >= transport.max_retransmits:
+                    self._record_fault(FaultEvent(
+                        self.rank, "retransmit-exhausted", self.clock,
+                        attempt,
+                        f"link {self.rank}->{dest} tag {tag}: giving up "
+                        f"after {retry} retransmit(s)"
+                        + (" (breaker open)" if health.open else ""),
+                    ))
+                    break
+                # Failed wire attempt: pay its overhead plus the
+                # detection + backoff delay, then go around again.
+                overhead = alpha_f * self.machine.alpha
+                delay = detection_delay(
+                    transport, self.machine, action, payload.nbytes, retry
+                )
+                self.clock += overhead + delay
+                self.stats.p2p_time += overhead + delay
+                self.stats.p2p_messages_sent += 1
+                self.stats.p2p_bytes_sent += payload.nbytes
+                self.stats.retransmits += 1
+                self.stats.retransmit_time += delay
+                if self._phase is not None:
+                    self.stats.add_tagged(self._phase, overhead + delay)
+                retry += 1
+                continue
+            if reliable and action == "deliver":
+                health.record_success()
+            break
         if action == "corrupt":
             # checksum was taken first, so integrity checking catches this
             self._injector.corrupt_payload(payload, self.rank, corrupt_mode)
@@ -245,10 +346,12 @@ class SimComm:
         self.stats.p2p_bytes_sent += payload.nbytes
         if self._phase is not None:
             self.stats.add_tagged(self._phase, overhead)
+        seq = self._send_seq.get((dest, tag), 0)
+        self._send_seq[(dest, tag)] = seq + 1
         if action == "drop":
             return  # the sender is oblivious; the receiver never sees it
         self._world.mailboxes[dest].deliver(
-            Message(self.rank, dest, tag, payload, arrival, checksum)
+            Message(self.rank, dest, tag, payload, arrival, checksum, seq)
         )
 
     def isend(self, dest: int, array: np.ndarray, tag: int = 0) -> Request:

@@ -26,6 +26,7 @@ from repro.simmpi.machine import LAPTOP_LIKE, MachineModel
 from repro.simmpi.network import DeadlockError
 from repro.simmpi.stats import CommStats
 from repro.simmpi.trace import TraceRecorder
+from repro.simmpi.transport import TransportConfig
 
 
 class SpmdError(RuntimeError):
@@ -112,6 +113,7 @@ def run_spmd(
     trace: bool = False,
     faults: FaultPlan | FaultInjector | None = None,
     verify_checksums: bool = False,
+    transport: TransportConfig | None = None,
 ) -> SpmdResult:
     """Run ``fn(comm, *args)`` on ``nranks`` simulated ranks.
 
@@ -138,6 +140,13 @@ def run_spmd(
         Checksum every point-to-point payload at the sender and verify on
         receive; in-flight corruption then raises ``CorruptedMessage``
         instead of silently contaminating the receiver.
+    transport:
+        Reliable-transport policy (:class:`~repro.simmpi.transport.
+        TransportConfig`): sequence-numbered messages with bounded,
+        backed-off retransmission of drops and (checksummed) corruption,
+        per-link circuit breakers, and prompt ``MessageLost`` detection
+        of permanently dropped messages.  ``None`` models the raw
+        network of the seed substrate.
     """
     injector = faults.injector() if isinstance(faults, FaultPlan) else faults
     if injector is not None:
@@ -148,6 +157,7 @@ def run_spmd(
         timeout=timeout,
         injector=injector,
         verify_checksums=verify_checksums,
+        transport=transport,
     )
     comms = [SimComm(world, r) for r in range(nranks)]
     tracers: list[TraceRecorder] | None = None

@@ -25,6 +25,13 @@ class DeadlockError(RuntimeError):
     """A blocking receive timed out — the SPMD program deadlocked."""
 
 
+class MessageLost(RuntimeError):
+    """A sequence gap on one (source, tag) stream: an upstream message was
+    permanently dropped (retransmits exhausted or breaker open).  Raised
+    by the receiver as soon as the *next* message on the stream arrives,
+    instead of sitting out the full deadlock timeout."""
+
+
 class AbortFlag:
     """World-wide fail-fast switch: set once by the launcher when any
     rank fails; blocked operations check it and bail out promptly."""
@@ -62,7 +69,9 @@ class Message:
     the receiver (sender clock at send + alpha + beta * bytes); the
     receiver's clock is advanced to at least this value on receive.
     ``checksum`` is the sender-side CRC32 of the *uncorrupted* payload
-    (None when integrity checking is off).
+    (None when integrity checking is off).  ``seq`` numbers the
+    ``(source, dest, tag)`` stream so the reliable transport can detect
+    permanently lost messages as a gap at the receiver.
     """
 
     source: int
@@ -71,6 +80,7 @@ class Message:
     payload: np.ndarray
     arrival: float
     checksum: int | None = None
+    seq: int = 0
 
 
 def _summarize_pending(messages: list[Message]) -> str:

@@ -40,6 +40,18 @@ class CommStats:
       checksum failures).
     * ``fault_events`` — the :class:`~repro.simmpi.faults.FaultEvent`
       records themselves, in occurrence order.
+
+    Reliable-transport accounting
+    -----------------------------
+    * ``retransmits`` — failed wire attempts this rank re-sent (message-
+      level recovery, invisible to the application).
+    * ``retransmit_time`` — logical seconds lost to failure detection
+      and backoff before those retransmissions.
+    * ``breaker_trips`` — circuit breakers this rank tripped open on its
+      outgoing links.
+    * ``messages_lost`` — permanently lost upstream messages this rank
+      detected as sequence gaps (:class:`~repro.simmpi.network.
+      MessageLost`).
     """
 
     p2p_messages_sent: int = 0
@@ -50,9 +62,13 @@ class CommStats:
     collective_bytes: int = 0
     synchronizations: int = 0
     faults_injected: int = 0
+    retransmits: int = 0
+    breaker_trips: int = 0
+    messages_lost: int = 0
     compute_time: float = 0.0
     p2p_time: float = 0.0
     collective_time: float = 0.0
+    retransmit_time: float = 0.0
     #: free-form buckets: algorithms tag phases ("stencil", "fourier", ...)
     tagged_time: dict = field(default_factory=dict)
     #: fault events observed by this rank, in order
@@ -80,10 +96,12 @@ class CommStats:
             "p2p_messages_sent", "p2p_messages_received",
             "p2p_bytes_sent", "p2p_bytes_received",
             "collective_ops", "collective_bytes", "synchronizations",
-            "faults_injected",
+            "faults_injected", "retransmits", "breaker_trips",
+            "messages_lost",
         ):
             setattr(out, f, max(getattr(s, f) for s in allstats))
-        for f in ("compute_time", "p2p_time", "collective_time"):
+        for f in ("compute_time", "p2p_time", "collective_time",
+                  "retransmit_time"):
             setattr(out, f, max(getattr(s, f) for s in allstats))
         keys = set()
         for s in allstats:

@@ -1,0 +1,132 @@
+"""Reliable-transport policy of the simulated cluster.
+
+The seed substrate models a *raw* network: a :class:`~repro.simmpi.faults.
+LinkFault` drop leaves the receiver blocked until the deadlock timeout and
+a corrupted payload aborts the whole world with ``CorruptedMessage`` —
+one transient costs a full chunk rollback.  Real interconnects do not
+work that way: MPI sits on a reliable byte stream that sequences,
+acknowledges and retransmits at the message level, so transients are
+absorbed where they occur.  This module supplies that layer:
+
+* :class:`TransportConfig` — the knobs: bounded retransmits with per-link
+  exponential backoff, and a circuit breaker that stops burning retries
+  on a link that keeps failing;
+* :class:`LinkHealth` — per-directed-link failure bookkeeping owned by
+  the *sender* (single-threaded access, no locks);
+* :func:`retransmit_delay` — the deterministic logical-clock cost of one
+  failed attempt (detection + backoff), derived from the machine model.
+
+Retransmission is simulated **sender-side**: the sender draws the fate of
+every wire attempt from its own per-rank fault RNG stream, so outcomes
+stay bit-reproducible regardless of thread scheduling (a receiver-driven
+NACK protocol would interleave draws across threads).  The logical-clock
+charges model what the wire would have cost: a dropped attempt is
+detected after a retransmission-timeout (RTO), a corrupted one after the
+full transfer plus a NACK flight back.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simmpi.machine import MachineModel
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Reliability policy of the simulated point-to-point transport.
+
+    Parameters
+    ----------
+    reliable:
+        Master switch.  ``False`` reproduces the raw seed network (no
+        retransmits, no sequence tracking) even when a config is passed.
+    max_retransmits:
+        Wire attempts beyond the first before the sender gives up and
+        falls back to raw-network semantics (drop stays lost, corruption
+        is delivered for the receiver's checksum to catch) — the
+        escalation path to the resilience layer stays reachable.
+    rto_base:
+        Retransmission timeout before the first retry, in logical
+        seconds.  ``None`` derives a per-message estimate from the
+        machine model: one round trip (transfer + ack flight).
+    rto_factor / rto_max:
+        Exponential backoff of the timeout: retry ``k`` (0-based) waits
+        ``min(rto * rto_factor**k, rto_max)``.
+    breaker_threshold:
+        Consecutive failed wire attempts on one directed link that trip
+        its circuit breaker; an open breaker skips retransmission
+        entirely (fail fast to the escalation path) until a successful
+        delivery on the link closes it again.
+    """
+
+    reliable: bool = True
+    max_retransmits: int = 4
+    rto_base: float | None = None
+    rto_factor: float = 2.0
+    rto_max: float = 1.0
+    breaker_threshold: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_retransmits < 0:
+            raise ValueError("max_retransmits must be >= 0")
+        if self.rto_base is not None and self.rto_base < 0:
+            raise ValueError("rto_base must be >= 0")
+        if self.rto_factor < 1.0:
+            raise ValueError("rto_factor must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+
+    def rto(self, machine: MachineModel, nbytes: int, retry: int) -> float:
+        """Backed-off retransmission timeout of retry ``retry`` (0-based)."""
+        base = (
+            self.rto_base
+            if self.rto_base is not None
+            else 2.0 * machine.alpha + machine.beta * nbytes
+        )
+        return min(base * self.rto_factor**retry, self.rto_max)
+
+
+class LinkHealth:
+    """Failure streak of one directed link, tracked by the sender.
+
+    ``record_failure`` returns ``True`` exactly when this failure trips
+    the breaker open; a successful delivery closes it and resets the
+    streak.  Instances are owned by a single sender thread — no locking.
+    """
+
+    __slots__ = ("consecutive_failures", "open")
+
+    def __init__(self) -> None:
+        self.consecutive_failures = 0
+        self.open = False
+
+    def record_failure(self, threshold: int) -> bool:
+        self.consecutive_failures += 1
+        if not self.open and self.consecutive_failures >= threshold:
+            self.open = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.open = False
+
+
+def detection_delay(
+    config: TransportConfig,
+    machine: MachineModel,
+    action: str,
+    nbytes: int,
+    retry: int,
+) -> float:
+    """Logical seconds from a failed wire attempt to its retransmission.
+
+    A *drop* is noticed when no ack arrives within the (backed-off) RTO;
+    a *corrupt* attempt travels the full wire before the receiver NACKs
+    it, so the sender pays the transfer plus the NACK flight, then the
+    same backoff.
+    """
+    delay = config.rto(machine, nbytes, retry)
+    if action == "corrupt":
+        delay += machine.alpha + machine.beta * nbytes + machine.alpha
+    return delay

@@ -1,0 +1,303 @@
+"""Buddy checkpoints, SDC gates, and the full escalation-ladder acceptance."""
+import logging
+import time
+
+import pytest
+
+from repro.constants import ModelParameters
+from repro.core.buddy import BuddyLost, BuddyStore, buddy_of
+from repro.core.driver import DynamicalCore
+from repro.core.resilience import (
+    ResilienceConfig,
+    ResilienceExhausted,
+    telemetry_drift,
+)
+from repro.grid.latlon import LatLonGrid
+from repro.physics import perturbed_rest_state
+from repro.simmpi import CrashSpec, FaultPlan, LinkFault
+
+NSTEPS = 3
+NPROCS = 4
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return LatLonGrid(nx=32, ny=16, nz=8)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ModelParameters(
+        dt_adaptation=60.0, dt_advection=60.0, m_iterations=1
+    )
+
+
+@pytest.fixture(scope="module")
+def state0(grid):
+    return perturbed_rest_state(grid, amplitude_k=2.0)
+
+
+def make_core(grid, params, **kwargs):
+    return DynamicalCore(
+        grid, algorithm="original-yz", nprocs=NPROCS, params=params, **kwargs
+    )
+
+
+class TestBuddyStoreUnit:
+    def test_buddy_ring(self):
+        assert [buddy_of(r, 4) for r in range(4)] == [1, 2, 3, 0]
+        assert buddy_of(0, 1) == 0  # degenerate: own buddy
+
+    @pytest.fixture()
+    def store(self, grid, params):
+        core = make_core(grid, params)
+        return BuddyStore(core.config.resolve_decomposition())
+
+    def test_roundtrip_is_bit_identical(self, store, state0):
+        store.store(5, state0)
+        assert state0.max_difference(store.restore(5)) == 0.0
+
+    def test_single_crash_restores_from_mirror(self, store, state0):
+        store.store(5, state0)
+        store.drop_ranks((2,))
+        assert state0.max_difference(store.restore(5)) == 0.0
+
+    def test_losing_owner_and_buddy_raises(self, store, state0):
+        store.store(5, state0)
+        store.drop_ranks((1, 2))  # rank 1's primary AND its mirror host
+        with pytest.raises(BuddyLost):
+            store.restore(5)
+
+    def test_wrong_or_missing_step_raises(self, store, state0):
+        with pytest.raises(BuddyLost):
+            store.restore(0)  # nothing stored yet
+        store.store(5, state0)
+        with pytest.raises(BuddyLost):
+            store.restore(6)
+
+    def test_single_rank_store_is_inert(self, grid, params, state0):
+        core = DynamicalCore(grid, algorithm="serial", nprocs=1, params=params)
+        store = BuddyStore(core.config.resolve_decomposition())
+        assert not store.enabled
+        store.store(5, state0)  # no-op
+        with pytest.raises(BuddyLost):
+            store.restore(5)
+
+
+class TestEscalationLadderAcceptance:
+    def test_chaos_run_heals_with_one_buddy_restore_and_no_disk(
+        self, tmp_path, grid, params, state0
+    ):
+        """The acceptance sweep of the ladder: background drops and
+        corruption plus one rank crash.  Transients are absorbed by
+        retransmission, the crash by one diskless buddy restore, and the
+        result is bit-identical to the fault-free run — zero disk
+        rollbacks, as the obs metrics registry confirms."""
+        ref_core = make_core(grid, params)
+        ref, _, _ = ref_core.run_resilient(
+            state0, NSTEPS,
+            ResilienceConfig(checkpoint_dir=tmp_path / "ref",
+                             checkpoint_interval=1),
+        )
+        chaos = FaultPlan(
+            seed=7,
+            crashes=(CrashSpec(rank=1, at_attempt=2, at_call=5),),
+            link_faults=(LinkFault(
+                drop_probability=0.1, corrupt_probability=0.1,
+            ),),
+        )
+        core = make_core(grid, params, observe=True)
+        recovered, _, report = core.run_resilient(
+            state0, NSTEPS,
+            ResilienceConfig(
+                checkpoint_dir=tmp_path / "chaos",
+                checkpoint_interval=1,
+                faults=chaos,
+            ),
+        )
+        assert ref.max_difference(recovered) == 0.0
+        assert report.nrestarts == 1
+        assert report.restarts[0].kind == "crash"
+        assert report.restarts[0].source == "buddy"
+        assert report.buddy_restores == 1
+        assert report.disk_rollbacks == 0
+        # the same story told by the metrics registry
+        reg = core.observation.registry
+        assert reg.counter("resilience_buddy_restores_total").value == 1
+        assert reg.counter("resilience_disk_rollbacks_total").value == 0
+        assert reg.counter(
+            "resilience_restarts_total", kind="crash"
+        ).value == 1
+        retransmits = sum(
+            reg.counter("simmpi_retransmits_total", rank=str(r)).value
+            for r in range(NPROCS)
+        )
+        assert retransmits > 0  # the background noise was healed in place
+
+    def test_double_fault_escalates_to_disk_rollback(
+        self, tmp_path, grid, params, state0
+    ):
+        """Crashing a rank and its buddy in the same chunk loses both
+        copies of one block: the buddy store must refuse and the driver
+        fall back to the disk checkpoint — and still finish correctly."""
+        ref_core = make_core(grid, params)
+        ref, _, _ = ref_core.run_resilient(
+            state0, NSTEPS,
+            ResilienceConfig(checkpoint_dir=tmp_path / "ref",
+                             checkpoint_interval=1),
+        )
+        plan = FaultPlan(
+            seed=0,
+            crashes=(
+                CrashSpec(rank=1, at_attempt=2, at_call=1),
+                CrashSpec(rank=2, at_attempt=2, at_call=1),
+            ),
+        )
+        core = make_core(grid, params)
+        recovered, _, report = core.run_resilient(
+            state0, NSTEPS,
+            ResilienceConfig(
+                checkpoint_dir=tmp_path / "double",
+                checkpoint_interval=1,
+                faults=plan,
+            ),
+        )
+        assert ref.max_difference(recovered) == 0.0
+        assert report.nrestarts == 1
+        assert report.restarts[0].kind == "crash"
+        assert report.restarts[0].source == "disk"
+        assert report.buddy_restores == 0
+        assert report.disk_rollbacks == 1
+
+
+class TestSdcAcceptanceGate:
+    def test_gate_catches_silent_memory_corruption(
+        self, tmp_path, grid, params, state0
+    ):
+        """A bit-flip in memory never crosses the wire, so no checksum
+        can see it, and a small one stays finite and bounded — only the
+        invariant drift gate rejects it, and the retry (through a buddy
+        restore) completes bit-identically."""
+        from repro.state.variables import ModelState
+
+        ref_core = make_core(grid, params)
+        ref, _, _ = ref_core.run_resilient(
+            state0, NSTEPS,
+            ResilienceConfig(checkpoint_dir=tmp_path / "ref",
+                             checkpoint_interval=1),
+        )
+        core = make_core(grid, params, observe=True)
+        real_run_once = core._run_once
+        chunk_calls = [0]
+
+        def flip_first_chunk(state, nsteps, **kwargs):
+            out, diag, stats = real_run_once(state, nsteps, **kwargs)
+            chunk_calls[0] += 1
+            if chunk_calls[0] == 1:  # silent upset, once
+                out = ModelState(
+                    U=out.U, V=out.V, Phi=out.Phi, psa=out.psa + 1e-2
+                )
+            return out, diag, stats
+
+        core._run_once = flip_first_chunk
+        recovered, _, report = core.run_resilient(
+            state0, NSTEPS,
+            ResilienceConfig(
+                checkpoint_dir=tmp_path / "sdc",
+                checkpoint_interval=1,
+                sdc_mass_tol=1e-3,  # absolute: clean drift is ~1e-7
+            ),
+        )
+        assert ref.max_difference(recovered) == 0.0
+        assert report.nrestarts == 1
+        assert report.restarts[0].kind == "sdc"
+        assert report.restarts[0].source == "buddy"
+        reg = core.observation.registry
+        assert reg.counter("resilience_sdc_rejections_total").value == 1
+
+    def test_loose_tolerances_accept_a_clean_run(
+        self, tmp_path, grid, params, state0
+    ):
+        core = make_core(grid, params)
+        final, _, report = core.run_resilient(
+            state0, NSTEPS,
+            ResilienceConfig(
+                checkpoint_dir=tmp_path,
+                checkpoint_interval=1,
+                sdc_mass_tol=0.5,
+                sdc_energy_tol=0.5,
+            ),
+        )
+        assert report.nrestarts == 0
+
+    def test_impossible_tolerance_exhausts(
+        self, tmp_path, grid, params, state0
+    ):
+        """A tolerance below the model's own drift rejects every retry of
+        the same (deterministic) chunk until the budget runs out."""
+        core = make_core(grid, params)
+        with pytest.raises(ResilienceExhausted) as exc_info:
+            core.run_resilient(
+                state0, NSTEPS,
+                ResilienceConfig(
+                    checkpoint_dir=tmp_path,
+                    checkpoint_interval=1,
+                    max_restarts=2,
+                    sdc_energy_tol=1e-16,
+                ),
+            )
+        assert "sdc" in str(exc_info.value)
+
+    def test_drift_is_symmetric_and_scaled(self):
+        assert telemetry_drift(1.0, 1.0) == 0.0
+        assert telemetry_drift(2.0, 1.0) == pytest.approx(0.5)
+        assert telemetry_drift(1.0, 2.0) == pytest.approx(0.5)
+        assert telemetry_drift(0.0, 0.0) == 0.0  # no division blowup
+
+
+class TestLogicalBackoff:
+    def test_backoff_charges_the_makespan_not_wall_clock(
+        self, tmp_path, grid, params, state0
+    ):
+        plan = FaultPlan(
+            seed=0, crashes=(CrashSpec(rank=1, at_attempt=2, at_call=5),)
+        )
+        core = make_core(grid, params)
+        t0 = time.monotonic()
+        _, diag, report = core.run_resilient(
+            state0, NSTEPS,
+            ResilienceConfig(
+                checkpoint_dir=tmp_path,
+                checkpoint_interval=1,
+                faults=plan,
+                backoff_base=50.0,
+                backoff_max=200.0,
+            ),
+        )
+        elapsed = time.monotonic() - t0
+        assert report.nrestarts == 1
+        assert report.backoff_time == 50.0
+        # the settle time landed in the simulated makespan...
+        assert diag.makespan == pytest.approx(
+            sum(report.chunk_makespans) + 50.0
+        )
+        # ...and was never slept for real (50 simulated seconds, while
+        # the whole run takes well under that on the wall)
+        assert elapsed < 50.0
+
+
+class TestStartupLogging:
+    def test_effective_integrity_mode_is_logged(
+        self, tmp_path, grid, params, state0, caplog
+    ):
+        core = make_core(grid, params)
+        with caplog.at_level(logging.INFO, logger="repro.core.resilience"):
+            core.run_resilient(
+                state0, 1,
+                ResilienceConfig(checkpoint_dir=tmp_path),
+            )
+        assert "integrity mode" in caplog.text
+        assert "payload checksums ON" in caplog.text
+        assert "reliable transport ON" in caplog.text
+        assert "buddy checkpoints ON" in caplog.text
+        assert "SDC gates OFF" in caplog.text

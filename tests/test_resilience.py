@@ -178,6 +178,10 @@ class TestCorruptionRecovery:
                 checkpoint_interval=1,
                 faults=plan,
                 verify_halo_checksums=True,
+                # raw network: corruption must escalate to a rollback
+                # instead of being healed in place by retransmission
+                transport=None,
+                buddy_checkpoints=False,
             ),
         )
         assert ref.max_difference(recovered) == 0.0
@@ -211,6 +215,7 @@ class TestCorruptionRecovery:
                 checkpoint_interval=1,
                 faults=plan,
                 blowup_policy="rollback",
+                verify_halo_checksums=False,  # corruption must stay silent
             ),
         )
         assert ref.max_difference(recovered) == 0.0
@@ -233,6 +238,7 @@ class TestCorruptionRecovery:
                     checkpoint_interval=1,
                     faults=plan,
                     blowup_policy="abort",
+                    verify_halo_checksums=False,  # corruption must stay silent
                 ),
             )
 

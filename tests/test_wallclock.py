@@ -7,9 +7,11 @@ from repro.perf.wallclock import (
     MeshSpec,
     SCHEMA_VERSION,
     bench_serial,
+    bench_transport_overhead,
     case_key,
     compare_reports,
     load_report,
+    transport_overhead_violations,
     write_report,
 )
 
@@ -55,6 +57,28 @@ class TestRegressionGate:
         assert case_key(a) != case_key(b)
 
 
+class TestTransportOverheadGate:
+    def _case(self, frac):
+        return {"kind": "transport_overhead", "mesh": "small",
+                "algorithm": "original-yz", "nprocs": 2,
+                "logical_overhead_frac": frac}
+
+    def test_within_limit_passes(self):
+        report = _report([self._case(0.04)])
+        assert transport_overhead_violations(report, limit=0.05) == []
+
+    def test_over_limit_flagged(self):
+        report = _report([self._case(0.12)])
+        out = transport_overhead_violations(report, limit=0.05)
+        assert len(out) == 1
+        assert "transport_overhead:small" in out[0]
+        assert "12.00%" in out[0]
+
+    def test_other_kinds_ignored(self):
+        report = _report([_case(10.0)])
+        assert transport_overhead_violations(report) == []
+
+
 class TestReportIO:
     def test_round_trip(self, tmp_path):
         report = _report([_case(10.0)])
@@ -78,6 +102,15 @@ class TestExecutedBench:
             1e3 / case["ws_ms_per_step"]
         )
         assert case["allocations"]["reuses"] > 0
+
+    def test_transport_overhead_case_is_free_of_logical_cost(self):
+        """On a clean network the reliable transport must not move the
+        simulated clocks at all — the overhead gate rides on this."""
+        case = bench_transport_overhead(MICRO, nsteps=1)
+        assert case["kind"] == "transport_overhead"
+        assert case["plain_makespan"] > 0
+        assert case["logical_overhead_frac"] == 0.0
+        assert transport_overhead_violations(_report([case])) == []
 
 
 def test_committed_baseline_is_loadable():
