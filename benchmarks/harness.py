@@ -27,6 +27,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.perf.wallclock import (  # noqa: E402
     compare_reports,
     load_report,
+    parallel_scaling_violations,
     run_benchmarks,
     transport_overhead_violations,
     write_report,
@@ -57,6 +58,18 @@ def _render(report: dict) -> str:
                 f"{case['logical_overhead_frac'] * 100.0:+.3f}%   "
                 f"wall {case['wall_overhead_frac'] * 100.0:+.1f}% "
                 f"(informational)"
+            )
+            continue
+        if case["kind"] == "parallel_scaling":
+            tag = f"scaling {case['algorithm']}@{case['nprocs']}"
+            gate = " [gate]" if case.get("gate_enforced") else ""
+            lines.append(
+                f"  {tag:<28} [{case['mesh']:<6}] "
+                f"{case['ms_per_step']:8.2f} ms/step   "
+                f"x{case['speedup_vs_serial']:.2f} vs serial "
+                f"({case['serial_ws_ms_per_step']:.2f} ms)   "
+                f"eff {case['efficiency'] * 100.0:.0f}%"
+                f"{gate}"
             )
             continue
         tag = case["kind"] + (
@@ -120,6 +133,23 @@ def main(argv: list[str] | None = None) -> int:
         for v in violations:
             print(f"  {v}")
         return 1
+
+    # absolute gate: CA on process ranks must beat the serial step —
+    # enforced only where the host actually has the cores
+    scaling = parallel_scaling_violations(report)
+    if scaling:
+        print("\nPARALLEL SCALING below serial:")
+        for v in scaling:
+            print(f"  {v}")
+        return 1
+    ncpu = report.get("machine", {}).get("cpu_count") or 1
+    gated = [
+        c for c in report["cases"]
+        if c.get("kind") == "parallel_scaling" and c.get("gate_beats_serial")
+    ]
+    if gated and not any(c.get("gate_enforced") for c in gated):
+        print(f"\nnote: parallel-scaling gate recorded but not enforced "
+              f"(host has {ncpu} core(s))")
 
     if args.baseline is not None:
         regressions = compare_reports(

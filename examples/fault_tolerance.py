@@ -60,8 +60,12 @@ def demo_recovery(args) -> None:
     )
     state0 = perturbed_rest_state(grid, amplitude_k=2.0)
     core = DynamicalCore(
-        grid, algorithm="ca", nprocs=args.nprocs, params=params
+        grid, algorithm="ca", nprocs=args.nprocs, params=params,
+        backend=args.backend,
     )
+    if args.backend == "process":
+        print("note: fault-injected attempts always run on the thread "
+              "backend; --backend process applies to fault-free chunks")
 
     crash_chunk = max(2, args.steps // 2)
     plan = FaultPlan(
@@ -124,7 +128,8 @@ def demo_chaos(args) -> int:
     with tempfile.TemporaryDirectory() as dref, \
             tempfile.TemporaryDirectory() as dch:
         ref_core = DynamicalCore(
-            grid, algorithm="original-yz", nprocs=args.nprocs, params=params
+            grid, algorithm="original-yz", nprocs=args.nprocs, params=params,
+            backend=args.backend,
         )
         ref, _, _ = ref_core.run_resilient(
             state0, args.steps,
@@ -178,9 +183,11 @@ def demo_perturbed_schedule(args) -> None:
         grid=grid, decomp=decomp, params=params, sigma=None, nsteps=1
     )
 
+    # the clean reference honours --backend; the perturbed run injects
+    # faults and therefore always uses the thread backend
     clean = run_spmd(
         decomp.nranks, ca_rank_program, dcfg, state0,
-        machine=COMM_HEAVY, trace=True,
+        machine=COMM_HEAVY, trace=True, backend=args.backend,
     )
     plan = FaultPlan(
         seed=0,
@@ -217,6 +224,10 @@ def main() -> None:
                              "+ one crash must heal with zero disk rollbacks")
     parser.add_argument("--trace-dir", default=None,
                         help="with --chaos: write obs trace artifacts here")
+    parser.add_argument("--backend", choices=("thread", "process"),
+                        default="thread",
+                        help="rank backend for fault-FREE runs; injected "
+                             "faults always use the thread backend")
     args = parser.parse_args()
     if args.quick:
         args.steps = 3

@@ -44,6 +44,11 @@ def main() -> None:
                         help="CI-sized run (overrides size flags)")
     parser.add_argument("--chrome-trace", metavar="OUT.json", default=None,
                         help="export both timelines to a Chrome-trace JSON")
+    parser.add_argument("--backend", choices=("thread", "process"),
+                        default="thread",
+                        help="rank execution backend; 'process' runs one OS "
+                             "process per rank over shared-memory rings "
+                             "(identical logical timelines, real multicore)")
     args = parser.parse_args()
     if args.quick:
         args.steps = 1
@@ -71,7 +76,7 @@ def main() -> None:
         )
         res = run_spmd(
             decomp.nranks, program, cfg, state0,
-            machine=COMM_HEAVY, trace=True,
+            machine=COMM_HEAVY, trace=True, backend=args.backend,
         )
         print(f"\n=== {name} ===  (makespan {max(res.clocks):.6f} s)")
         print(render_gantt(res.traces, width=args.width))

@@ -34,6 +34,7 @@ from repro.core.distributed import (
     RankContext,
     RankResult,
 )
+from repro.core.halo import PackPool
 from repro.core.workspace import StateRing
 from repro.obs.spans import span
 from repro.operators.smoothing import (
@@ -71,6 +72,7 @@ class CommAvoidingRank(RankContext):
         # y-neighbour ranks for the bundle messages
         self.north_nb = decomp.neighbour(comm.rank, 0, -1, 0)
         self.south_nb = decomp.neighbour(comm.rank, 0, +1, 0)
+        self._bundle_pool = PackPool(comm)
 
     # ------------------------------------------------------------------
     # stale-bundle exchange (y-direction only; bundles are z-complete)
@@ -103,8 +105,9 @@ class CommAvoidingRank(RankContext):
                     else slice(gy + ny_i - wy, gy + ny_i)
                 )
                 slab = arr[..., rows, :]
+                payload = self._bundle_pool.pack((side, fi) + slab.shape, slab)
                 sends.append(
-                    self.comm.isend(nb, slab, tag=TAG_BUNDLE + tag_off + fi)
+                    self.comm.isend(nb, payload, tag=TAG_BUNDLE + tag_off + fi)
                 )
         self.comm.set_phase(None)
         return sends, recvs

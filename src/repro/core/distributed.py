@@ -28,7 +28,7 @@ from repro.grid.decomposition import Decomposition
 from repro.grid.latlon import LatLonGrid
 from repro.grid.sigma import SigmaLevels
 from repro.obs.spans import span
-from repro.operators.filter import damping_factors
+from repro.operators.filter import filter_plan
 from repro.operators.geometry import WorkingGeometry
 from repro.operators.smoothing import smooth_state, smooth_state_into, smoothers_for
 from repro.operators.vertical import VerticalDiagnostics
@@ -149,10 +149,10 @@ class RankContext:
         if not self.geom.full_x:
             nx = cfg.grid.nx
             profile = cfg.params.filter_profile
-            self.fmask_c, self.ffactors_c = damping_factors(
+            self.fmask_c, self.ffactors_c = filter_plan(
                 self.geom.sin_c, nx, cfg.params.filter_latitude, profile
             )
-            self.fmask_v, self.ffactors_v = damping_factors(
+            self.fmask_v, self.ffactors_v = filter_plan(
                 self.geom.sin_v, nx, cfg.params.filter_latitude, profile
             )
         self.exchanges = 0

@@ -112,6 +112,11 @@ class CoreConfig:
     timeout: float | None = None
     #: pool-backed fast path (bit-identical numerics; False = seed path)
     use_workspace: bool = True
+    #: SPMD execution backend: ``"thread"`` (default; deterministic fault
+    #: injection) or ``"process"`` (one OS process per rank over
+    #: shared-memory rings — true multicore, bit-identical numerics).
+    #: Fault-injected attempts always run on the thread backend.
+    backend: str = "thread"
     #: reliable-transport policy for plain runs (``None`` = raw network;
     #: the resilient driver supplies its own default, see
     #: :class:`repro.core.resilience.ResilienceConfig`)
@@ -128,6 +133,11 @@ class CoreConfig:
             )
         if self.algorithm == "serial" and self.nprocs != 1:
             raise ValueError("the serial core runs on one rank")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                "pick 'thread' or 'process'"
+            )
         self.observe = ObsConfig.coerce(self.observe)
 
     def resolve_decomposition(self) -> Decomposition:
@@ -326,6 +336,9 @@ class DynamicalCore:
                 if cfg.timeout is not None
                 else default_spmd_timeout(nsteps)
             )
+        # fault-injected attempts need the thread backend's deterministic
+        # in-process delivery; clean runs honour the configured backend
+        backend = cfg.backend if faults is None else "thread"
         result = run_spmd(
             decomp.nranks,
             program,
@@ -337,6 +350,7 @@ class DynamicalCore:
             faults=faults,
             verify_checksums=verify_checksums,
             transport=transport,
+            backend=backend,
         )
         blocks = [r.state for r in result.results]
         gathered = ModelState(

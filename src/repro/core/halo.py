@@ -56,6 +56,39 @@ def _axis_slices(n_interior: int, g: int, d: int, side: str, w: int | None = Non
     return slice(g - w, g) if d < 0 else slice(g + n_interior, g + n_interior + w)
 
 
+class PackPool:
+    """Reusable contiguous send buffers for halo/bundle packing.
+
+    The thread backend keeps a reference to every sent payload until the
+    receiver consumes it, so each send must own a private copy — there the
+    pool is a no-op and strided blocks flow through ``isend`` unchanged
+    (``SimComm._as_payload`` copies them as before).  The process backend
+    packs payload bytes into a shared-memory ring *synchronously* inside
+    ``send``/``isend`` (``SimComm.pack_in_place``), so a block can be
+    staged into a reusable buffer: one ``np.copyto`` per message and zero
+    per-message allocations.  Buffers are keyed by caller key + shape, so
+    alternating wide/thin exchanges keep distinct buffers instead of
+    reallocating.
+    """
+
+    __slots__ = ("enabled", "_bufs")
+
+    def __init__(self, comm: SimComm) -> None:
+        self.enabled = comm.pack_in_place
+        self._bufs: dict[tuple, np.ndarray] = {}
+
+    def pack(self, key: tuple, block: np.ndarray) -> np.ndarray:
+        """Stage ``block`` for sending; returns the array to pass to send."""
+        if not self.enabled:
+            return block
+        buf = self._bufs.get(key)
+        if buf is None or buf.shape != block.shape or buf.dtype != block.dtype:
+            buf = np.empty(block.shape, dtype=block.dtype)
+            self._bufs[key] = buf
+        np.copyto(buf, block)
+        return buf
+
+
 @dataclass
 class PendingExchange:
     """In-flight non-blocking halo exchange.
@@ -82,6 +115,7 @@ class HaloExchanger:
         self.decomp = decomp
         self.geom = geom
         self.neighbours = decomp.plane_neighbours(comm.rank)
+        self._pool = PackPool(comm)
 
     # ---- slice computation ---------------------------------------------------
     def _block_slices(
@@ -155,7 +189,9 @@ class HaloExchanger:
             for fi, arr in enumerate(fields):
                 slc = self._block_slices(key, arr.ndim, "send", wy, wz, wx)
                 tag = self._tag(key, fi, receiver_view=False)
-                send_reqs.append(self.comm.isend(nb, arr[slc], tag=tag))
+                block = arr[slc]
+                payload = self._pool.pack((key, fi) + block.shape, block)
+                send_reqs.append(self.comm.isend(nb, payload, tag=tag))
         return PendingExchange(recv_reqs=recv_reqs, send_reqs=send_reqs)
 
     def finish(self, pending: PendingExchange, fields: list[np.ndarray]) -> None:
@@ -210,6 +246,7 @@ class AntipodalPoleExchanger:
             (cx + decomp.px // 2) % decomp.px, cy, cz
         )
         self.local = self.partner == comm.rank
+        self._pool = PackPool(comm)
 
     def fill(self, fields: list[tuple[np.ndarray, str]]) -> None:
         """Fill pole ghost rows of the given fields.
@@ -248,7 +285,9 @@ class AntipodalPoleExchanger:
             else:
                 rows = slice(-(2 * gy + 1), -gy)
             for fi, (arr, _kind) in enumerate(fields):
-                self.comm.send(self.partner, working_rows(arr, rows), tag=tag0 + fi)
+                block = working_rows(arr, rows)
+                payload = self._pool.pack((pole, fi) + block.shape, block)
+                self.comm.send(self.partner, payload, tag=tag0 + fi)
             for fi, (arr, kind) in enumerate(fields):
                 got = self.comm.recv(self.partner, tag=tag0 + fi)
                 block = working_rows(arr, rows)

@@ -153,6 +153,20 @@ class SpanTracer:
         """An open span context manager recording into this tracer."""
         return _LiveSpan(self, name, cat)
 
+    def absorb(self, spans: list[Span]) -> None:
+        """Merge completed spans recorded elsewhere into this tracer.
+
+        Used by the process-backed SPMD launcher: each rank process
+        records into its own tracer (sharing this tracer's epoch, since
+        ``perf_counter`` is system-wide on the platforms we run on) and
+        ships its spans back at join; absorbing them here keeps span
+        counts and per-rank lanes identical to the thread backend.
+        """
+        buf = _ThreadBuf()
+        buf.spans = list(spans)
+        with self._lock:
+            self._bufs.append(buf)
+
     @property
     def spans(self) -> list[Span]:
         """All completed spans of all threads, ordered by start time."""

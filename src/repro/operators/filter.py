@@ -70,6 +70,52 @@ def damping_factors(
     return mask, factors
 
 
+#: memoised (mask, factors) pairs keyed by the full damping_factors input
+_PLAN_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+_PLAN_STATS = {"hits": 0, "misses": 0}
+
+
+def filter_plan(
+    sin_rows: np.ndarray,
+    nx: int,
+    filter_latitude: float,
+    profile: str = "quadratic",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cached :func:`damping_factors`.
+
+    Every distributed rank builds the same per-geometry damping tables at
+    construction time — under the thread backend that is ``nranks``
+    identical trig/power evaluations per run, and benchmark sweeps rebuild
+    them for every repeat.  Plans are memoised on the exact inputs
+    (``sin_rows`` bytes, ``nx``, latitude, profile) and returned as
+    read-only arrays shared between all users; callers never mutate them
+    (the filter multiplies into the spectrum, not into the factors).
+    """
+    key = (sin_rows.tobytes(), int(nx), float(filter_latitude), profile)
+    cached = _PLAN_CACHE.get(key)
+    if cached is not None:
+        _PLAN_STATS["hits"] += 1
+        return cached
+    _PLAN_STATS["misses"] += 1
+    mask, factors = damping_factors(sin_rows, nx, filter_latitude, profile)
+    mask.setflags(write=False)
+    factors.setflags(write=False)
+    _PLAN_CACHE[key] = (mask, factors)
+    return mask, factors
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Current filter-plan cache counters (``hits``, ``misses``, ``size``)."""
+    return {**_PLAN_STATS, "size": len(_PLAN_CACHE)}
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached filter plans and reset the counters (tests/benchmarks)."""
+    _PLAN_CACHE.clear()
+    _PLAN_STATS["hits"] = 0
+    _PLAN_STATS["misses"] = 0
+
+
 class PolarFilter:
     """Per-geometry polar filter over full latitude circles.
 
@@ -88,10 +134,10 @@ class PolarFilter:
         self.params = params
         nx = geom.grid.nx
         profile = getattr(params, "filter_profile", "quadratic")
-        self.mask_c, self.factors_c = damping_factors(
+        self.mask_c, self.factors_c = filter_plan(
             geom.sin_c, nx, params.filter_latitude, profile
         )
-        self.mask_v, self.factors_v = damping_factors(
+        self.mask_v, self.factors_v = filter_plan(
             geom.sin_v, nx, params.filter_latitude, profile
         )
 

@@ -47,7 +47,8 @@ class MeshSpec:
 
 
 SMALL = MeshSpec("small", 32, 16, 6, nsteps=5)
-MEDIUM = MeshSpec("medium", 72, 36, 12, nsteps=8)
+#: tall enough that CA at 4 ranks keeps ny/p_y = 12 > 3M + 2 = 11 halo rows
+MEDIUM = MeshSpec("medium", 72, 48, 12, nsteps=8)
 #: CA needs ny/p_y > 3M + 2 halo rows, hence the taller mesh
 CA_SMALL = MeshSpec("ca-small", 32, 32, 6, nsteps=5)
 
@@ -111,6 +112,33 @@ def bench_serial(mesh: MeshSpec, repeats: int = 1) -> dict:
 # ---------------------------------------------------------------------------
 # per-kernel timings on the serial engine
 # ---------------------------------------------------------------------------
+def _filter_bench(core, w, cached: bool):
+    """Polar-filter micro-bench closure: plan construction + application.
+
+    The seed flavour rebuilds the damping tables every call (one build
+    per filter construction, the pre-cache behaviour); the ws flavour
+    goes through the memoised :func:`repro.operators.filter.filter_plan`.
+    """
+    from repro.operators.filter import (
+        apply_filter_rows,
+        damping_factors,
+        filter_plan,
+    )
+
+    geom = core.geom
+    nx = geom.grid.nx
+    lat = core.params.filter_latitude
+    profile = core.params.filter_profile
+    plan = filter_plan if cached else damping_factors
+
+    def run() -> None:
+        mask, factors = plan(geom.sin_c, nx, lat, profile)
+        if mask.any():
+            apply_filter_rows(w.U, mask, factors)
+
+    return run
+
+
 def bench_kernels(mesh: MeshSpec, inner: int = 5) -> dict:
     """Time each hot-path kernel in isolation, both code paths."""
     from repro.core.integrator import SerialCore
@@ -146,6 +174,7 @@ def bench_kernels(mesh: MeshSpec, inner: int = 5) -> dict:
             )
         else:
             rec["smoothing"] = timed(lambda: smooth_state(w, core.params))
+        rec["polar_filter"] = timed(_filter_bench(core, w, cached=use_ws))
         for name, ms in rec.items():
             kernels.setdefault(name, {})[f"{label}_ms"] = ms
     for rec in kernels.values():
@@ -187,6 +216,122 @@ def bench_core(mesh: MeshSpec, algorithm: str, nprocs: int, nsteps: int) -> dict
         "speedup": times["seed"] / times["ws"],
         "steps_per_sec": 1.0 / times["ws"],
     }
+
+
+# ---------------------------------------------------------------------------
+# multicore scaling of the process backend
+# ---------------------------------------------------------------------------
+def bench_parallel_scaling(
+    mesh: MeshSpec,
+    algorithms: tuple[str, ...] = ("original-yz", "ca"),
+    nprocs_list: tuple[int, ...] = (1, 2, 4),
+    nsteps: int | None = None,
+) -> list[dict]:
+    """Wall-clock the process backend across rank counts.
+
+    Unlike :func:`bench_core` (threads multiplexed on one core, so wall
+    time is *pipeline* throughput), the process backend runs one OS
+    process per rank over shared-memory rings — on a multicore host the
+    ranks genuinely overlap and the CA core's communication avoidance
+    shows up as wall-clock speedup.  Emits one case per (algorithm,
+    nprocs) with parallel efficiency relative to the 1-rank run and the
+    serial workspace step as the absolute reference; the ``ca`` case at
+    the highest rank count carries ``gate_beats_serial`` so the
+    regression gate can require real multicore wins where the host has
+    the cores (see :func:`parallel_scaling_violations`).
+    """
+    from repro.core.driver import DynamicalCore
+    from repro.core.integrator import SerialCore
+
+    grid = _grid(mesh)
+    s0 = _initial(grid)
+    if nsteps is None:
+        nsteps = mesh.nsteps
+
+    score = SerialCore(grid, use_workspace=True)
+    w = score.pad(s0)
+    w = score.step(w)  # warmup
+    t0 = time.perf_counter()
+    for _ in range(nsteps):
+        w = score.step(w)
+    serial_ms = (time.perf_counter() - t0) / nsteps * 1e3
+
+    ncpu = os.cpu_count() or 1
+    gate_n = max(nprocs_list)
+    cases = []
+    for algorithm in algorithms:
+        base_ms = None  # 1-rank time of this algorithm (efficiency base)
+        for nprocs in nprocs_list:
+            core = DynamicalCore(
+                grid, algorithm=algorithm, nprocs=nprocs, backend="process"
+            )
+            core.run(s0, 1)  # warmup: forks ranks, fills pools
+            t0 = time.perf_counter()
+            core.run(s0, nsteps)
+            ms = (time.perf_counter() - t0) / nsteps * 1e3
+            if base_ms is None:
+                base_ms = ms * nprocs_list[0]  # normalise if list skips 1
+            speedup_vs_base = base_ms / ms
+            cases.append(
+                {
+                    "kind": "parallel_scaling",
+                    "mesh": mesh.name,
+                    "algorithm": algorithm,
+                    "nprocs": nprocs,
+                    "backend": "process",
+                    "timed_steps": nsteps,
+                    "ms_per_step": ms,
+                    "steps_per_sec": 1e3 / ms,
+                    "serial_ws_ms_per_step": serial_ms,
+                    "speedup_vs_serial": serial_ms / ms,
+                    "efficiency": speedup_vs_base / nprocs,
+                    "cpu_count": ncpu,
+                    # the gate targets the medium mesh: on toy meshes the
+                    # per-message overhead can dominate any parallel win
+                    "gate_beats_serial": (
+                        algorithm == "ca"
+                        and nprocs == gate_n
+                        and mesh.name == "medium"
+                    ),
+                    "gate_enforced": (
+                        algorithm == "ca"
+                        and nprocs == gate_n
+                        and mesh.name == "medium"
+                        and ncpu >= nprocs
+                    ),
+                }
+            )
+    return cases
+
+
+def parallel_scaling_violations(report: dict) -> list[str]:
+    """Gated parallel-scaling cases that fail to beat the serial step.
+
+    A case marked ``gate_beats_serial`` (the CA core at the highest
+    benchmarked rank count) must out-run the serial workspace step in
+    wall-clock — but only on hosts with at least that many cores; on
+    smaller machines the processes time-share one core and no parallel
+    speedup is physically possible, so the case is recorded (with its
+    ``cpu_count``) and the gate is skipped.  CI runs this on multicore
+    runners where the gate is real.
+    """
+    violations = []
+    ncpu = report.get("machine", {}).get("cpu_count") or 1
+    for case in report["cases"]:
+        if case.get("kind") != "parallel_scaling":
+            continue
+        if not case.get("gate_beats_serial"):
+            continue
+        if ncpu < case["nprocs"]:
+            continue  # single/few-core host: parallel win not expected
+        if case["ms_per_step"] >= case["serial_ws_ms_per_step"]:
+            violations.append(
+                f"{case_key(case)}: {case['ms_per_step']:.2f} ms/step on "
+                f"{case['nprocs']} process ranks does not beat the serial "
+                f"workspace step ({case['serial_ws_ms_per_step']:.2f} ms) "
+                f"on a {ncpu}-core host"
+            )
+    return violations
 
 
 # ---------------------------------------------------------------------------
@@ -295,9 +440,18 @@ def run_benchmarks(quick: bool = False, repeats: int = 1) -> dict:
     for mesh in meshes:
         cases.append(bench_serial(mesh, repeats=repeats))
     cases.append(bench_kernels(SMALL if quick else MEDIUM))
-    dist_steps = 1 if quick else 2
+    # distributed cases: a warmup run precedes timing, and enough timed
+    # steps to keep launcher scheduling jitter out of the per-step number
+    dist_steps = 2 if quick else 6
     cases.append(bench_core(SMALL, "original-yz", 2, dist_steps))
     cases.append(bench_core(CA_SMALL, "ca", 2, dist_steps))
+    if quick:
+        # CA at 4 ranks needs ny >= 48; the quick mesh tops out at 2
+        cases.extend(
+            bench_parallel_scaling(CA_SMALL, nprocs_list=(1, 2), nsteps=dist_steps)
+        )
+    else:
+        cases.extend(bench_parallel_scaling(MEDIUM, nprocs_list=(1, 2, 4)))
     cases.append(bench_transport_overhead(SMALL, nsteps=dist_steps))
     return {
         "schema_version": SCHEMA_VERSION,

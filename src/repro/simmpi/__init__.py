@@ -2,7 +2,9 @@
 
 The paper evaluates on 1024 MPI ranks of Tianhe-2; neither the machine nor
 mpi4py is available here, so this package provides the substitute described
-in DESIGN.md: an SPMD runtime where every rank is a Python thread with a
+in DESIGN.md: an SPMD runtime where every rank is a Python thread (or,
+with ``run_spmd(..., backend="process")``, an OS process communicating
+over shared-memory rings — see :mod:`repro.simmpi.shm`) with a
 private mailbox, tag-matched point-to-point messages, sub-communicators and
 collectives — plus a deterministic **logical clock** driven by an
 alpha-beta machine model.  All reported "times" come from the logical
@@ -37,9 +39,10 @@ from repro.simmpi.faults import (
     Straggler,
 )
 from repro.simmpi.comm import SimComm, Request
-from repro.simmpi.launcher import run_spmd, SpmdResult, SpmdError
+from repro.simmpi.launcher import BACKENDS, run_spmd, SpmdResult, SpmdError
 
 __all__ = [
+    "BACKENDS",
     "run_spmd",
     "SpmdResult",
     "SpmdError",

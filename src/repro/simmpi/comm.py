@@ -41,6 +41,12 @@ from repro.simmpi.transport import LinkHealth, TransportConfig, detection_delay
 class SimWorld:
     """Shared state of one simulated cluster run."""
 
+    #: thread-backend mailboxes hand the payload object to the receiver,
+    #: so senders must copy it first (see ``SimComm._as_payload``); the
+    #: shared-memory world (repro.simmpi.shm) packs bytes into its rings
+    #: inside ``deliver`` and overrides this to True
+    copies_on_deliver = False
+
     def __init__(
         self,
         nranks: int,
@@ -224,6 +230,13 @@ class SimComm:
     def machine(self) -> MachineModel:
         return self._world.machine
 
+    @property
+    def pack_in_place(self) -> bool:
+        """True when sends consume payload bytes synchronously (the
+        shared-memory process backend), so callers may hand reusable
+        pack buffers to ``send``/``isend`` without an aliasing copy."""
+        return self._world.copies_on_deliver
+
     # ---- compute ------------------------------------------------------------
     def compute(self, seconds: float, phase: str | None = None) -> None:
         """Advance the logical clock by ``seconds`` of local computation.
@@ -250,7 +263,13 @@ class SimComm:
     # ---- point-to-point -------------------------------------------------------
     def _as_payload(self, array: np.ndarray) -> np.ndarray:
         arr = np.ascontiguousarray(array)
-        return arr.copy()  # messages must not alias sender memory
+        if self._world.copies_on_deliver:
+            # deliver() packs the bytes into a shared ring synchronously,
+            # so the payload may alias sender memory (pack-in-place)
+            return arr
+        if arr is array or arr.base is not None:
+            return arr.copy()  # messages must not alias sender memory
+        return arr  # ascontiguousarray already produced a private copy
 
     def send(self, dest: int, array: np.ndarray, tag: int = 0) -> None:
         """Buffered send: the sender pays only the overhead ``alpha``.

@@ -14,12 +14,14 @@ payload integrity check (:class:`~repro.simmpi.faults.CorruptedMessage`).
 """
 from __future__ import annotations
 
+import pickle
 import threading
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.obs.spans import set_rank
+from repro.obs.spans import SpanTracer, active_tracer, set_active, set_rank
 from repro.simmpi.comm import SimComm, SimWorld
 from repro.simmpi.faults import FaultInjector, FaultPlan
 from repro.simmpi.machine import LAPTOP_LIKE, MachineModel
@@ -104,6 +106,9 @@ class SpmdResult:
         return [e for s in self.stats for e in s.fault_events]
 
 
+BACKENDS = ("thread", "process")
+
+
 def run_spmd(
     nranks: int,
     fn: Callable[..., Any],
@@ -114,13 +119,15 @@ def run_spmd(
     faults: FaultPlan | FaultInjector | None = None,
     verify_checksums: bool = False,
     transport: TransportConfig | None = None,
+    backend: str = "thread",
+    shm_link_bytes: int | None = None,
 ) -> SpmdResult:
     """Run ``fn(comm, *args)`` on ``nranks`` simulated ranks.
 
     Parameters
     ----------
     nranks:
-        Number of simulated ranks (threads).
+        Number of simulated ranks (threads or processes, see ``backend``).
     fn:
         The rank program; first argument is its :class:`SimComm`.
     machine:
@@ -147,7 +154,38 @@ def run_spmd(
         per-link circuit breakers, and prompt ``MessageLost`` detection
         of permanently dropped messages.  ``None`` models the raw
         network of the seed substrate.
+    backend:
+        ``"thread"`` (default) runs every rank as a thread in this
+        process — deterministic fault injection, zero launch cost.
+        ``"process"`` forks one OS process per rank and moves messages
+        and collectives over shared-memory ring buffers
+        (:mod:`repro.simmpi.shm`), so rank compute genuinely runs in
+        parallel.  Numerics and logical clocks are bit-identical between
+        backends.  ``nranks == 1`` always runs in the caller.
+    shm_link_bytes:
+        Process backend only: ring capacity per directed link (default
+        sized by :func:`repro.simmpi.shm.default_link_bytes`; larger
+        messages stream through in chunks).
     """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; pick from {BACKENDS}")
+    if backend == "process":
+        if faults is not None:
+            raise ValueError(
+                "fault injection requires backend='thread' — injected "
+                "drops/crashes rely on deterministic in-process delivery"
+            )
+        if nranks > 1:
+            return _run_spmd_process(
+                nranks, fn, args,
+                machine=machine or LAPTOP_LIKE,
+                timeout=timeout,
+                trace=trace,
+                verify_checksums=verify_checksums,
+                transport=transport,
+                shm_link_bytes=shm_link_bytes,
+            )
+        # single rank: the serial fast path below is already process-free
     injector = faults.injector() if isinstance(faults, FaultPlan) else faults
     if injector is not None:
         injector.begin_attempt()
@@ -221,3 +259,229 @@ def run_spmd(
         clocks=[c.clock for c in comms],
         traces=tracers,
     )
+
+
+# ---------------------------------------------------------------------------
+# process backend (shared-memory rings; see repro.simmpi.shm)
+# ---------------------------------------------------------------------------
+def _picklable(exc: BaseException) -> BaseException:
+    """``exc`` itself when it survives pickling, else a summary stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _process_rank_main(world, rank: int, fn, args, trace: bool, ends) -> None:
+    """Entry point of one rank process (after fork).
+
+    Runs the rank program against the shared-memory world and ships a
+    status dict — result, stats, clock, logical trace, wall-clock spans —
+    back through ``conn``.  Failures abort the world (fail fast for the
+    peers) and ship the traceback instead.
+    """
+    import os
+
+    status: dict[str, Any] = {
+        "rank": rank, "ok": False, "result": None, "stats": None,
+        "clock": 0.0, "trace": None, "spans": None, "tb": None, "exc": None,
+    }
+    # fork copies every rank's pipe write-end into every child; close the
+    # other ranks' ends so a dead peer's pipe EOFs promptly in the parent
+    conn = ends[rank]
+    for i, end in enumerate(ends):
+        if i != rank:
+            end.close()
+    comm = None
+    tracer = None
+    try:
+        world.attach(rank)
+        set_rank(rank)
+        parent_tracer = active_tracer()  # inherited through fork
+        if parent_tracer is not None:
+            # fresh tracer on the parent's epoch: perf_counter is
+            # CLOCK_MONOTONIC on Linux, shared across processes, so the
+            # child's spans land on the parent's timeline directly —
+            # without re-shipping the spans the parent recorded pre-fork
+            tracer = SpanTracer()
+            tracer.epoch = parent_tracer.epoch
+            set_active(tracer)
+        comm = SimComm(world, rank)
+        if trace:
+            comm.tracer = TraceRecorder(rank)
+        status["result"] = fn(comm, *args)
+        status["ok"] = True
+    except BaseException as exc:  # noqa: BLE001 - report everything to caller
+        status["tb"] = traceback.format_exc()
+        status["exc"] = _picklable(exc)
+        world.abort(f"rank {rank} failed with {type(exc).__name__}: {exc}")
+    finally:
+        if comm is not None:
+            status["stats"] = comm.stats
+            status["clock"] = comm.clock
+            status["trace"] = comm.tracer
+        if tracer is not None:
+            status["spans"] = tracer.spans
+        try:
+            conn.send(status)
+        except Exception as exc:  # e.g. unpicklable rank result
+            status.update(
+                ok=False, result=None, trace=None, spans=None,
+                tb=traceback.format_exc(),
+                exc=RuntimeError(
+                    f"rank {rank}: could not ship its result back: {exc}"
+                ),
+            )
+            try:
+                conn.send(status)
+            except Exception:
+                os._exit(70)
+        finally:
+            conn.close()
+
+
+def _run_spmd_process(
+    nranks: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    *,
+    machine: MachineModel,
+    timeout: float,
+    trace: bool,
+    verify_checksums: bool,
+    transport: TransportConfig | None,
+    shm_link_bytes: int | None,
+) -> SpmdResult:
+    """One OS process per rank over shared-memory rings (fork start method).
+
+    Fork keeps the launch cheap and pickle-free: the rank function, its
+    arguments and the world object are inherited copy-on-write.  Results
+    come back over per-rank pipes; a child that dies without reporting
+    (hard crash, ``os._exit``) is detected by its pipe's EOF and surfaces
+    as a :class:`SpmdError` carrying a ``ChildProcessError``.
+    """
+    from multiprocessing.connection import wait as conn_wait
+
+    from repro.simmpi.shm import ShmWorld
+
+    world = ShmWorld(
+        nranks, machine,
+        timeout=timeout,
+        verify_checksums=verify_checksums,
+        transport=transport,
+        link_bytes=shm_link_bytes,
+    )
+    ctx = world.ctx
+    procs: dict[int, Any] = {}
+    conns: dict[int, Any] = {}
+    try:
+        child_ends = []
+        for r in range(nranks):
+            recv_end, send_end = ctx.Pipe(duplex=False)
+            conns[r] = recv_end
+            child_ends.append(send_end)
+        for r in range(nranks):
+            procs[r] = ctx.Process(
+                target=_process_rank_main,
+                args=(world, r, fn, args, trace, child_ends),
+                daemon=True,
+                name=f"rank{r}",
+            )
+        for p in procs.values():
+            p.start()
+        for end in child_ends:
+            end.close()  # EOF on a rank's pipe now means "its process died"
+
+        rank_of = {conn: r for r, conn in conns.items()}
+        pending = dict(conns)
+        reports: dict[int, dict] = {}
+        crashed: dict[int, int | None] = {}
+        deadline = time.monotonic() + timeout + 30.0
+        while pending:
+            ready = conn_wait(list(pending.values()), timeout=0.5)
+            for conn in ready:
+                r = rank_of[conn]
+                try:
+                    reports[r] = conn.recv()
+                except (EOFError, OSError):
+                    procs[r].join(timeout=2.0)
+                    crashed[r] = procs[r].exitcode
+                    world.abort(
+                        f"rank {r} process died with exit code "
+                        f"{procs[r].exitcode} before reporting"
+                    )
+                del pending[r]
+            if pending and time.monotonic() > deadline:
+                world.abort(
+                    f"SPMD run exceeded its {timeout + 30.0:.0f}s deadline"
+                )
+                # one last short grace period for in-flight reports
+                for conn in conn_wait(list(pending.values()), timeout=2.0):
+                    r = rank_of[conn]
+                    try:
+                        reports[r] = conn.recv()
+                    except (EOFError, OSError):
+                        crashed[r] = procs[r].exitcode
+                    del pending[r]
+                break
+        hung = sorted(pending)
+
+        results: list[Any] = [None] * nranks
+        stats = [CommStats() for _ in range(nranks)]
+        clocks = [0.0] * nranks
+        tracers: list[TraceRecorder] | None = (
+            [TraceRecorder(r) for r in range(nranks)] if trace else None
+        )
+        failures: dict[int, str] = {}
+        exceptions: dict[int, BaseException] = {}
+        tracer = active_tracer()
+        for r, rep in sorted(reports.items()):
+            if rep.get("stats") is not None:
+                stats[r] = rep["stats"]
+            clocks[r] = rep.get("clock", 0.0)
+            if tracers is not None and rep.get("trace") is not None:
+                tracers[r] = rep["trace"]
+            if tracer is not None and rep.get("spans"):
+                tracer.absorb(rep["spans"])
+            if rep.get("ok"):
+                results[r] = rep["result"]
+            else:
+                failures[r] = rep.get("tb") or "(no traceback captured)"
+                exceptions[r] = rep.get("exc") or RuntimeError(
+                    f"rank {r} failed without detail"
+                )
+        for r, code in sorted(crashed.items()):
+            detail = (
+                f"rank {r} process died with exit code {code} "
+                "before reporting its result"
+            )
+            failures[r] = detail
+            exceptions[r] = ChildProcessError(detail)
+        if failures:
+            raise SpmdError(failures, exceptions=exceptions, stats=stats)
+        if hung:
+            backlog = {
+                r: world.mailboxes[r].pending_summary() for r in range(nranks)
+            }
+            detail = (
+                f"rank processes still running: {hung}; "
+                f"per-rank mailbox backlog: {backlog}"
+            )
+            raise SpmdError(
+                {-1: detail},
+                exceptions={-1: DeadlockError(detail)},
+                stats=stats,
+            )
+        return SpmdResult(
+            results=results, stats=stats, clocks=clocks, traces=tracers
+        )
+    finally:
+        for p in procs.values():
+            p.join(timeout=2.0)
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        for conn in conns.values():
+            conn.close()
+        world.destroy()

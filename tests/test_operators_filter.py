@@ -7,7 +7,10 @@ from repro.grid.sigma import SigmaLevels
 from repro.operators.filter import (
     PolarFilter,
     apply_filter_rows,
+    clear_plan_cache,
     damping_factors,
+    filter_plan,
+    plan_cache_stats,
 )
 from repro.operators.geometry import WorkingGeometry
 from repro.state.variables import ModelState
@@ -134,3 +137,35 @@ class TestApplication:
         )
         apply_filter_rows(arr, mask, factors)
         assert np.allclose(arr[:, 1, :], expected)
+
+
+class TestPlanCache:
+    def test_hit_returns_same_readonly_arrays(self, geom):
+        clear_plan_cache()
+        args = (geom.sin_c, geom.grid.nx, ModelParameters().filter_latitude)
+        mask1, fac1 = filter_plan(*args)
+        mask2, fac2 = filter_plan(*args)
+        assert mask1 is mask2 and fac1 is fac2
+        assert not fac1.flags.writeable and not mask1.flags.writeable
+        stats = plan_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["size"] == 1
+
+    def test_matches_uncached_and_keys_on_inputs(self, geom):
+        clear_plan_cache()
+        lat = ModelParameters().filter_latitude
+        mask, fac = filter_plan(geom.sin_c, geom.grid.nx, lat)
+        ref_mask, ref_fac = damping_factors(geom.sin_c, geom.grid.nx, lat)
+        assert np.array_equal(mask, ref_mask)
+        assert np.array_equal(fac, ref_fac)
+        # different profile -> distinct entry, not a stale hit
+        filter_plan(geom.sin_c, geom.grid.nx, lat, "sharp")
+        assert plan_cache_stats()["size"] == 2
+
+    def test_polar_filters_share_plans(self, geom):
+        clear_plan_cache()
+        a = PolarFilter(geom, ModelParameters())
+        b = PolarFilter(geom, ModelParameters())
+        assert a.factors_c is b.factors_c
+        assert a.factors_v is b.factors_v
+        assert plan_cache_stats()["hits"] == 2
