@@ -46,6 +46,7 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro.core.buddy import BuddyLost, BuddyStore
 from repro.core.driver import StepDiagnostics
@@ -63,7 +64,7 @@ from repro.simmpi.network import DeadlockError, MessageLost
 from repro.simmpi.transport import TransportConfig
 from repro.state.io import (
     checkpoint_path,
-    latest_checkpoint,
+    latest_verified_checkpoint,
     load_state,
     save_state,
 )
@@ -134,8 +135,16 @@ class ResilienceConfig:
         Override for the per-chunk deadlock timeout; ``None`` defers to
         ``CoreConfig.timeout`` / ``default_spmd_timeout``.
     resume:
-        Start from the newest checkpoint already in ``checkpoint_dir``
-        instead of ``state0`` (restart-after-process-death).
+        Start from the newest *verified* checkpoint already in
+        ``checkpoint_dir`` instead of ``state0``
+        (restart-after-process-death).  Checkpoints failing their
+        checksum sidecar — e.g. torn by a crash mid-write — are skipped,
+        so the resume falls back to the previous good checkpoint.
+    on_chunk:
+        Optional ``on_chunk(step, nsteps)`` callback invoked after every
+        *committed* chunk (``step`` is the new committed step count).
+        The job runner of :mod:`repro.serve` uses it as a per-job
+        progress heartbeat; exceptions propagate (they abort the run).
     """
 
     checkpoint_dir: str | Path
@@ -154,6 +163,7 @@ class ResilienceConfig:
     faults: FaultPlan | FaultInjector | None = None
     spmd_timeout: float | None = None
     resume: bool = False
+    on_chunk: "Callable[[int, int], None] | None" = None
 
     def __post_init__(self) -> None:
         if self.checkpoint_interval < 1:
@@ -329,7 +339,7 @@ def run_resilient(
     state = state0
     resumed = False
     if rcfg.resume:
-        found = latest_checkpoint(ckdir)
+        found = latest_verified_checkpoint(ckdir)
         if found is not None:
             state, step = load_state(found[0])
             report.resumed_from_step = step
@@ -400,7 +410,7 @@ def run_resilient(
             # The escalation path: reload from disk, exactly as a process
             # restarted from scratch would.
             with span("rollback", "resilience"):
-                found = latest_checkpoint(ckdir)
+                found = latest_verified_checkpoint(ckdir)
                 if found is None:
                     raise ResilienceExhausted(
                         f"no checkpoint to roll back to in {ckdir}"
@@ -512,6 +522,8 @@ def run_resilient(
             report.checkpoints.append((step, path))
             core._commit_observation()
             chunk_attempt = 1
+            if rcfg.on_chunk is not None:
+                rcfg.on_chunk(step, nsteps)
 
     diag.makespan += report.backoff_time
     obs = getattr(core, "_observation", None)

@@ -1,0 +1,43 @@
+"""Simulation-as-a-service: a hardened multi-tenant job runner.
+
+``repro.serve`` turns the dynamical core into a service: many concurrent
+simulation jobs (config → trajectory artifact) are scheduled by a
+supervisor across a pool of crash-isolated worker processes, watched by
+per-job heartbeat watchdogs, retried with exponential backoff and
+deterministic jitter, admitted through a bounded queue that sheds load
+with a typed :class:`ServerBusy`, and served out of an
+integrity-checked, content-addressed result cache.
+
+>>> from repro.serve import JobServer, JobSpec
+>>> with JobServer("cache/") as srv:
+...     handle = srv.submit(JobSpec(nx=32, ny=16, nz=4, nsteps=2))
+...     result = handle.result()
+
+See ``docs/serve.md`` for the architecture, failure matrix and
+degradation ladder, and ``python -m repro.serve.loadtest`` for the
+load-test driver.
+"""
+from repro.serve.cache import ResultCache
+from repro.serve.job import (
+    JobPoisoned,
+    JobResult,
+    JobSpec,
+    job_key,
+    state_digest,
+)
+from repro.serve.queue import BoundedJobQueue, ServerBusy
+from repro.serve.supervisor import JobHandle, JobServer, ServeConfig
+
+__all__ = [
+    "BoundedJobQueue",
+    "JobHandle",
+    "JobPoisoned",
+    "JobResult",
+    "JobServer",
+    "JobSpec",
+    "ResultCache",
+    "ServeConfig",
+    "ServerBusy",
+    "job_key",
+    "state_digest",
+]

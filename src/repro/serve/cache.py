@@ -1,0 +1,90 @@
+"""Integrity-checked, content-addressed result cache.
+
+Artifacts live under ``<root>/objects/<key>.npz`` with a ``.sha256``
+sidecar, both written atomically (tmp+fsync+rename — see
+:mod:`repro.state.io`), so a torn write can never sit under a final
+name.  Reads verify the sidecar; an entry that fails — corrupted at
+rest, sidecar missing, or half a crash window — is *quarantined* (moved
+to ``<root>/quarantine/``) and reported as a miss, so the supervisor
+recomputes it instead of ever serving bytes it cannot vouch for.
+"""
+from __future__ import annotations
+
+import logging
+from pathlib import Path
+
+from repro.state.io import (
+    atomic_write_bytes,
+    quarantine_file,
+    verify_sidecar,
+)
+
+logger = logging.getLogger(__name__)
+
+#: verdicts of one cache probe
+HIT, MISS, CORRUPT = "hit", "miss", "corrupt"
+
+
+class ResultCache:
+    """Content-addressed artifact store keyed by :func:`~repro.serve.job.
+    job_key`."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.quarantine_dir = self.root / "quarantine"
+        self.objects.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.objects / f"{key}.npz"
+
+    def probe(self, key: str) -> tuple[Path | None, str]:
+        """Look up ``key``; returns ``(path_or_None, verdict)``.
+
+        ``verdict`` is :data:`HIT`, :data:`MISS` or :data:`CORRUPT`; a
+        corrupt entry (checksum mismatch *or* missing sidecar — cache
+        entries are always written with one) has already been moved to
+        quarantine when this returns.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None, MISS
+        if verify_sidecar(path) is True:
+            return path, HIT
+        quarantined = quarantine_file(path, self.quarantine_dir)
+        logger.warning(
+            "cache entry %s failed verification — quarantined to %s, "
+            "recomputing", key[:12], quarantined,
+        )
+        return None, CORRUPT
+
+    def put(self, key: str, data: bytes) -> Path:
+        """Store ``data`` under ``key`` atomically; returns the path.
+
+        Concurrent writers of the same key are safe: each rename is
+        atomic and, the store being content-addressed, they carry
+        identical bytes — last rename wins.
+        """
+        path = self.path_for(key)
+        atomic_write_bytes(path, data)
+        return path
+
+    def get(self, key: str) -> Path | None:
+        """Verified lookup: the artifact path, or ``None``."""
+        path, verdict = self.probe(key)
+        return path if verdict == HIT else None
+
+    def corrupt_entry_for_test(self, key: str, offset: int = 20) -> None:
+        """Flip bytes of a cached entry in place (fault injection only)."""
+        path = self.path_for(key)
+        raw = bytearray(path.read_bytes())
+        for i in range(offset, min(offset + 8, len(raw))):
+            raw[i] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.objects.glob("*.npz"))
+
+    def quarantined(self) -> list[Path]:
+        return sorted(self.quarantine_dir.glob("*.npz*"))

@@ -1,0 +1,233 @@
+"""Job and result types of the multi-tenant job runner.
+
+A :class:`JobSpec` is the *entire* client-visible contract: pure data
+describing one simulation (mesh, algorithm, steps, physics knobs) plus an
+optional declarative chaos clause used by tests and the load-test driver
+to inject worker misbehavior deterministically.  Because the spec is
+pure data it canonicalizes: :func:`job_key` hashes the canonical JSON
+form together with the code version into the content address under which
+the job's artifact is cached — identical requests on identical code are
+served without recompute.
+
+A :class:`JobResult` is the typed outcome.  Jobs never resolve by raising
+out of the server: a poison job that exhausts its retries completes with
+``status="failed"`` and a typed ``error_type``, and only admission
+control itself raises (:class:`~repro.serve.queue.ServerBusy`).
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import subprocess
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+import repro
+
+#: bump when the artifact layout or job semantics change — part of every
+#: cache key, so stale artifacts from older layouts can never be served
+JOB_SCHEMA_VERSION = 1
+
+#: chaos kinds understood by the worker (see ``repro.serve.worker``)
+CHAOS_KINDS = ("crash", "wedge", "poison")
+
+
+class JobPoisoned(RuntimeError):
+    """Deterministic per-job failure injected by a ``poison`` chaos clause."""
+
+
+@dataclass
+class JobSpec:
+    """One simulation job: config in, trajectory artifact out.
+
+    Parameters
+    ----------
+    name:
+        Free-form client label (part of the cache key: two tenants
+        submitting identical physics under different names get their own
+        entries, so one tenant can never observe another's timing).
+    algorithm / nprocs / backend:
+        Passed through to :class:`~repro.core.driver.DynamicalCore`;
+        ``backend`` selects the *inner* SPMD backend of the simulation
+        (the job itself already runs in its own worker process).
+    nx, ny, nz, nsteps:
+        Mesh and length of the integration.
+    dt_adaptation / dt_advection / m_iterations:
+        Time-stepping parameters (see ``repro.constants``).
+    amplitude_k:
+        Initial warm-bump amplitude in kelvin.
+    checkpoint_interval:
+        Steps per resilience chunk; each committed chunk writes a
+        checkpoint (the job resumes from it after a crash) and emits a
+        heartbeat.
+    chaos:
+        ``None`` for production jobs.  Tests/load tests set
+        ``{"kind": "crash" | "wedge" | "poison", "attempts": [1],
+        "after_chunks": 1, "wedge_seconds": 3600.0}`` to misbehave
+        deterministically on the listed attempts (1-based).
+    """
+
+    name: str = "job"
+    algorithm: str = "serial"
+    nx: int = 16
+    ny: int = 8
+    nz: int = 4
+    nsteps: int = 2
+    nprocs: int = 1
+    backend: str = "thread"
+    dt_adaptation: float = 60.0
+    dt_advection: float = 180.0
+    m_iterations: int = 3
+    amplitude_k: float = 1.0
+    checkpoint_interval: int = 1
+    chaos: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.nsteps < 1:
+            raise ValueError("nsteps must be >= 1")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.chaos is not None:
+            kind = self.chaos.get("kind")
+            if kind not in CHAOS_KINDS:
+                raise ValueError(
+                    f"chaos kind {kind!r} not in {CHAOS_KINDS}"
+                )
+
+    def canonical(self) -> str:
+        """Canonical JSON form (sorted keys, no whitespace)."""
+        payload = asdict(self)
+        payload["schema"] = JOB_SCHEMA_VERSION
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def physics_key(self) -> str:
+        """Hash of the physics-relevant fields only (chaos excluded).
+
+        Two jobs with equal physics keys must produce bit-identical
+        artifacts regardless of injected chaos — the cross-job leakage
+        assertion of the load test compares along this key.
+        """
+        payload = asdict(self)
+        payload.pop("chaos")
+        payload.pop("name")
+        payload["schema"] = JOB_SCHEMA_VERSION
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")).encode()
+        ).hexdigest()
+
+
+def code_version() -> str:
+    """Version string folded into every cache key.
+
+    The git commit when available (results must not survive a code
+    change), else the package version.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        root = Path(__file__).resolve().parents[3]
+        try:
+            sha = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=root, capture_output=True, text=True, timeout=10,
+            ).stdout.strip()
+        except (OSError, subprocess.SubprocessError):
+            sha = ""
+        _CODE_VERSION = sha or f"pkg-{repro.__version__}"
+    return _CODE_VERSION
+
+
+_CODE_VERSION: str | None = None
+
+
+def job_key(spec: JobSpec) -> str:
+    """Content address of one job: SHA-256 of canonical spec + code."""
+    h = hashlib.sha256()
+    h.update(spec.canonical().encode())
+    h.update(b"\0")
+    h.update(code_version().encode())
+    return h.hexdigest()
+
+
+def state_digest(state) -> str:
+    """Hex SHA-256 over a :class:`ModelState`'s raw field bytes.
+
+    File-format independent (unlike hashing the ``.npz``, whose zip
+    metadata varies), so cold-run and cache-hit artifacts can be
+    compared bit-for-bit at the array level.
+    """
+    h = hashlib.sha256()
+    for fname in ("U", "V", "Phi", "psa"):
+        a = np.ascontiguousarray(getattr(state, fname))
+        h.update(fname.encode())
+        h.update(struct.pack("<q", a.ndim))
+        h.update(struct.pack(f"<{a.ndim}q", *a.shape))
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def seeded_unit(seed: int, key: str, attempt: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for one retry of one job.
+
+    Used for retry-backoff jitter: decorrelated across jobs and attempts
+    but exactly reproducible under one server seed.
+    """
+    digest = hashlib.blake2b(
+        struct.pack("<q", seed) + key.encode() + struct.pack("<q", attempt),
+        digest_size=8,
+    ).digest()
+    return int.from_bytes(digest, "little") / 2.0**64
+
+
+def backoff_delay(
+    base: float, factor: float, cap: float,
+    seed: int, key: str, attempt: int,
+) -> float:
+    """Jittered exponential backoff before retry ``attempt`` (1-based).
+
+    ``min(base * factor**(attempt-1), cap)`` scaled into
+    ``[0.5x, 1.5x)`` by the deterministic :func:`seeded_unit` draw, so
+    simultaneous failures across jobs don't retry in lock-step.
+    """
+    if base <= 0.0:
+        return 0.0
+    delay = min(base * factor ** (attempt - 1), cap)
+    return delay * (0.5 + seeded_unit(seed, key, attempt))
+
+
+@dataclass
+class JobResult:
+    """Typed outcome of one job.
+
+    ``status`` is ``"ok"`` or ``"failed"`` — a shed job never gets a
+    result (admission raises :class:`~repro.serve.queue.ServerBusy`
+    instead).  ``cache_hit`` marks results served without recompute;
+    ``coalesced`` marks hits that piggybacked on an identical in-flight
+    job rather than a cache file.
+    """
+
+    job_id: int
+    key: str
+    status: str
+    spec: JobSpec | None = None
+    cache_hit: bool = False
+    coalesced: bool = False
+    attempts: int = 0
+    latency_s: float = 0.0
+    artifact: Path | None = None
+    state_digest: str | None = None
+    resumed_from_step: int = 0
+    restarts: int = 0
+    watchdog_kills: int = 0
+    makespan: float = 0.0
+    error_type: str | None = None
+    error: str | None = None
+    worker: int | None = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"

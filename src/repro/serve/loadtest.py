@@ -1,0 +1,339 @@
+"""Load-test driver of the job runner: mixed traffic + injected faults.
+
+``python -m repro.serve.loadtest --jobs 120 --out /tmp/serve-loadtest``
+stands up one :class:`~repro.serve.supervisor.JobServer` and drives a
+mixed workload through it:
+
+* repeated submissions of a small set of distinct physics configs
+  (exercising the content-addressed cache and in-flight coalescing),
+* chaos jobs that crash their worker mid-job (must retry to success,
+  resuming from checkpoints), wedge it (the heartbeat watchdog must
+  kill-and-reap within its deadline), or poison every attempt (must
+  exhaust retries into a *typed* failure while the pool stays healthy),
+* a burst past the admission bound (typed :class:`ServerBusy` shedding),
+* one forced-corrupt cache entry (must be quarantined and recomputed
+  bit-identically).
+
+The driver then audits the results — every handle resolved (zero server
+hangs), crashed jobs retried-to-success, cache hits bit-identical by
+state digest, and **zero cross-job state leakage**: every result whose
+spec shares a physics key must carry the same digest, chaos or not —
+and writes ``report.json``, ``metrics.prom`` and ``trace.json``
+artifacts.  Exit code 0 iff every assertion holds.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+import time
+from pathlib import Path
+
+from repro.obs.exporters import chrome_trace, write_chrome_trace
+from repro.serve.job import JobSpec
+from repro.serve.queue import ServerBusy
+from repro.serve.supervisor import JobServer, ServeConfig
+
+logger = logging.getLogger("repro.serve.loadtest")
+
+
+def build_workload(njobs: int) -> list[JobSpec]:
+    """``njobs`` mixed specs: clean repeats + crash/wedge/poison chaos."""
+    base = [
+        JobSpec(name="tenant-a", nsteps=2, amplitude_k=1.0),
+        JobSpec(name="tenant-a", nsteps=3, amplitude_k=1.0),
+        JobSpec(name="tenant-b", nsteps=2, amplitude_k=2.0),
+        JobSpec(name="tenant-b", nsteps=2, amplitude_k=1.0,
+                checkpoint_interval=2),
+        JobSpec(name="tenant-c", nsteps=2, algorithm="original-yz",
+                nprocs=2, backend="thread"),
+        JobSpec(name="tenant-c", nsteps=2, algorithm="ca", ny=32,
+                nprocs=2, backend="thread"),
+        JobSpec(name="tenant-c", nsteps=2, amplitude_k=0.5),
+    ]
+    chaos = [
+        # crash attempt 1 mid-job -> retry resumes from checkpoint
+        JobSpec(name="chaos-crash-1", nsteps=3,
+                chaos={"kind": "crash", "attempts": [1]}),
+        JobSpec(name="chaos-crash-2", nsteps=3, amplitude_k=2.0,
+                chaos={"kind": "crash", "attempts": [1], "after_chunks": 2}),
+        # stop heartbeating without dying -> watchdog must kill-and-reap
+        JobSpec(name="chaos-wedge", nsteps=3, amplitude_k=0.5,
+                chaos={"kind": "wedge", "attempts": [1]}),
+        # fails every attempt -> typed permanent failure
+        JobSpec(name="chaos-poison-1", nsteps=2,
+                chaos={"kind": "poison"}),
+        JobSpec(name="chaos-poison-2", nsteps=2, amplitude_k=2.0,
+                chaos={"kind": "poison"}),
+    ]
+    jobs = list(chaos)
+    i = 0
+    while len(jobs) < njobs:
+        jobs.append(base[i % len(base)])
+        i += 1
+    return jobs
+
+
+def submit_with_client_backoff(server: JobServer, spec: JobSpec,
+                               deadline_s: float = 120.0):
+    """Submit, backing off on :class:`ServerBusy`; returns (handle, sheds)."""
+    sheds = 0
+    pause = 0.02
+    deadline = time.monotonic() + deadline_s
+    while True:
+        try:
+            return server.submit(spec), sheds
+        except ServerBusy:
+            sheds += 1
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(pause)
+            pause = min(pause * 2, 0.5)
+
+
+def percentile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def run_loadtest(
+    out_dir: str | Path,
+    njobs: int = 120,
+    workers: int = 2,
+    max_queue: int = 8,
+    executor: str = "process",
+    heartbeat_timeout: float = 5.0,
+    result_timeout: float = 120.0,
+    seed: int = 0,
+) -> dict:
+    """Drive the workload; returns the report dict (see ``checks``)."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    cfg = ServeConfig(
+        workers=workers,
+        max_queue=max_queue,
+        max_retries=2,
+        heartbeat_timeout=heartbeat_timeout,
+        job_timeout=90.0,
+        backoff_base=0.02,
+        backoff_max=0.2,
+        executor=executor,
+        seed=seed,
+    )
+    specs = build_workload(njobs)
+    checks: list[tuple[str, bool, str]] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append((name, bool(ok), detail))
+        logger.log(
+            logging.INFO if ok else logging.ERROR,
+            "check %-38s %s %s", name, "PASS" if ok else "FAIL", detail,
+        )
+
+    t0 = time.monotonic()
+    server = JobServer(out / "cache", config=cfg)
+    try:
+        handles = []
+        sheds_seen = 0
+        for spec in specs:
+            handle, sheds = submit_with_client_backoff(server, spec)
+            handles.append((spec, handle))
+            sheds_seen += sheds
+        # Zero server hangs: every handle must resolve within the deadline.
+        results, hangs = [], 0
+        for spec, handle in handles:
+            try:
+                results.append((spec, handle.result(timeout=result_timeout)))
+            except TimeoutError:
+                hangs += 1
+        check("no_server_hangs", hangs == 0, f"{hangs} unresolved handles")
+
+        # Forced cache corruption: flip bytes of one cached artifact and
+        # resubmit — the server must quarantine and recompute it.
+        victim_spec, victim_res = next(
+            (s, r) for s, r in results if r.ok and s.chaos is None
+        )
+        server.cache.corrupt_entry_for_test(victim_res.key)
+        redo = server.submit(victim_spec).result(timeout=result_timeout)
+        results.append((victim_spec, redo))
+        check(
+            "corruption_quarantined",
+            len(server.cache.quarantined()) >= 1
+            and server.counter_value("serve_cache_corrupt_total") >= 1,
+            f"{len(server.cache.quarantined())} quarantined",
+        )
+        check(
+            "corruption_recomputed_identically",
+            redo.ok and not redo.cache_hit
+            and redo.state_digest == victim_res.state_digest,
+            f"{redo.status}, digest match="
+            f"{redo.state_digest == victim_res.state_digest}",
+        )
+
+        # Pool health after every injected fault: a fresh clean job runs.
+        probe = server.submit(
+            JobSpec(name="post-chaos-probe", nsteps=2, amplitude_k=3.0)
+        ).result(timeout=result_timeout)
+        check("pool_healthy_after_chaos", probe.ok, probe.error or "")
+
+        wall = time.monotonic() - t0
+
+        # ---- audits over the full result set ----------------------------
+        ok_results = [r for _, r in results if r.ok]
+        failed = [r for _, r in results if not r.ok]
+        crashy = [r for s, r in results
+                  if s.chaos is not None and s.chaos["kind"] in
+                  ("crash", "wedge")]
+        poison = [r for s, r in results
+                  if s.chaos is not None and s.chaos["kind"] == "poison"]
+        check(
+            "crashed_jobs_retried_to_success",
+            all(r.ok and r.attempts >= 2 for r in crashy),
+            f"{sum(r.ok for r in crashy)}/{len(crashy)} ok",
+        )
+        check(
+            "poison_jobs_typed_failure",
+            all(
+                (not r.ok) and r.error_type == "JobPoisoned"
+                and r.attempts == cfg.max_retries + 1
+                for r in poison
+            ),
+            f"{len(poison)} poison jobs",
+        )
+        check(
+            "only_poison_failed",
+            all(r.error_type == "JobPoisoned" for r in failed),
+            f"failures: {sorted({r.error_type for r in failed})}",
+        )
+        check(
+            "watchdog_fired",
+            server.counter_value("serve_watchdog_kills_total") >= 1,
+            f"{server.counter_value('serve_watchdog_kills_total'):g} kills",
+        )
+        check("load_shedding_observed", sheds_seen >= 1,
+              f"{sheds_seen} ServerBusy rejections")
+
+        # Cache hits must be bit-identical to the cold computation: every
+        # result under one cache key carries one digest.
+        by_key: dict[str, set] = {}
+        for r in ok_results:
+            by_key.setdefault(r.key, set()).add(r.state_digest)
+        check(
+            "cache_hits_bit_identical",
+            all(len(d) == 1 for d in by_key.values()),
+            f"{len(by_key)} keys",
+        )
+
+        # Zero cross-job state leakage: results that share a physics key
+        # (chaos and name excluded) must share a digest — a crashed,
+        # killed, resumed or degraded job yields the same bits as a clean
+        # one, and no job ever sees another's state.
+        by_phys: dict[str, set] = {}
+        for s, r in results:
+            if r.ok:
+                by_phys.setdefault(s.physics_key(), set()).add(
+                    r.state_digest
+                )
+        leaks = {k[:12]: sorted(d) for k, d in by_phys.items()
+                 if len(d) != 1}
+        check("zero_cross_job_leakage", not leaks,
+              f"{len(by_phys)} physics groups, leaks={leaks}")
+
+        lat = sorted(r.latency_s for _, r in results)
+        hits = server.counter_value("serve_cache_hits_total")
+        coalesced = server.counter_value("serve_coalesced_total")
+        lookups = hits + coalesced + server.counter_value(
+            "serve_cache_misses_total"
+        ) + server.counter_value("serve_cache_corrupt_total")
+        report = {
+            "config": {
+                "jobs": len(specs), "workers": workers,
+                "max_queue": max_queue, "executor_requested": executor,
+                "executor_final": server.executor, "seed": seed,
+                "heartbeat_timeout": heartbeat_timeout,
+            },
+            "wall_seconds": round(wall, 3),
+            "jobs": {
+                "submitted": int(
+                    server.counter_value("serve_jobs_submitted_total")
+                ),
+                "ok": len(ok_results),
+                "failed": len(failed),
+                "cache_hits": int(hits),
+                "coalesced": int(coalesced),
+                "hit_rate": round((hits + coalesced) / lookups, 3)
+                if lookups else 0.0,
+            },
+            "latency_seconds": {
+                "p50": round(percentile(lat, 0.50), 4),
+                "p99": round(percentile(lat, 0.99), 4),
+                "max": round(lat[-1], 4) if lat else 0.0,
+            },
+            "counters": {
+                "retries": server.counter_total("serve_retries_total"),
+                "watchdog_kills": server.counter_value(
+                    "serve_watchdog_kills_total"
+                ),
+                "worker_restarts": server.counter_value(
+                    "serve_worker_restarts_total"
+                ),
+                "shed_total": server.counter_value("serve_shed_total"),
+                "client_sheds_seen": sheds_seen,
+                "cache_corrupt": server.counter_value(
+                    "serve_cache_corrupt_total"
+                ),
+                "downgrades": server.counter_value(
+                    "serve_downgrades_total"
+                ),
+            },
+            "checks": [
+                {"name": n, "ok": ok, "detail": d} for n, ok, d in checks
+            ],
+            "passed": all(ok for _, ok, _ in checks),
+        }
+        (out / "report.json").write_text(json.dumps(report, indent=2))
+        (out / "metrics.prom").write_text(server.metrics_text())
+        if server.tracer is not None:
+            write_chrome_trace(
+                out / "trace.json", chrome_trace(spans=server.tracer.spans)
+            )
+        return report
+    finally:
+        server.close(drain=False, timeout=10.0)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="serve load test: mixed jobs + injected faults"
+    )
+    ap.add_argument("--jobs", type=int, default=120)
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--queue", type=int, default=8)
+    ap.add_argument("--executor", default="process",
+                    choices=("process", "thread"))
+    ap.add_argument("--heartbeat-timeout", type=float, default=5.0)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", default="serve-loadtest")
+    args = ap.parse_args(argv)
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    report = run_loadtest(
+        args.out,
+        njobs=args.jobs,
+        workers=args.workers,
+        max_queue=args.queue,
+        executor=args.executor,
+        heartbeat_timeout=args.heartbeat_timeout,
+        seed=args.seed,
+    )
+    print(json.dumps(report, indent=2))
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

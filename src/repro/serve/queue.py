@@ -1,0 +1,62 @@
+"""Bounded admission queue: shed load, never queue unboundedly.
+
+A server that accepts everything converts overload into unbounded memory
+growth and unbounded latency — clients time out anyway, just later and
+with the server in worse shape.  :class:`BoundedJobQueue` therefore
+rejects at admission time with a typed :class:`ServerBusy` the moment
+the queue is full; the client sees a prompt, classifiable signal it can
+back off on.
+"""
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+class ServerBusy(RuntimeError):
+    """Typed admission rejection: the bounded job queue is full."""
+
+    def __init__(self, depth: int, limit: int) -> None:
+        self.depth = depth
+        self.limit = limit
+        super().__init__(
+            f"job queue full ({depth}/{limit}) — load shed; "
+            "retry with backoff"
+        )
+
+
+class Empty(Exception):
+    """Raised by :meth:`BoundedJobQueue.get` on timeout."""
+
+
+class BoundedJobQueue:
+    """FIFO with a hard depth limit and typed shedding."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    def put_nowait(self, item) -> None:
+        """Admit ``item`` or raise :class:`ServerBusy` — never blocks."""
+        with self._lock:
+            if len(self._items) >= self.maxsize:
+                raise ServerBusy(len(self._items), self.maxsize)
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None):
+        """Pop the oldest item; raises :class:`Empty` after ``timeout``."""
+        with self._not_empty:
+            if not self._items:
+                self._not_empty.wait(timeout)
+            if not self._items:
+                raise Empty
+            return self._items.popleft()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

@@ -1,0 +1,199 @@
+"""Worker side of the job runner: execute one job, report over a pipe.
+
+A worker is a long-lived loop (one per pool slot, normally its own OS
+process) that receives job assignments from the supervisor, executes
+them through the resilient driver, and streams progress heartbeats back.
+Everything the supervisor learns about a worker travels over the duplex
+connection: ``start`` and ``hb`` messages feed the per-job watchdog,
+``done``/``fail`` resolve the attempt, and an EOF on the pipe means the
+worker process died mid-job (crash isolation: the *server* never shares
+a fate with a job).
+
+Execution always goes through :func:`repro.core.resilience.run_resilient`
+with ``resume=True`` against a per-job checkpoint directory, so a retry
+after a crash or a watchdog kill resumes from the last committed chunk
+instead of restarting — and each committed chunk emits a heartbeat, so
+a job that stops committing chunks is, by definition, wedged.
+
+Chaos clauses (tests and the load-test driver only) make a worker
+misbehave deterministically: ``crash`` hard-exits the process mid-job,
+``wedge`` stops heartbeating without dying, ``poison`` raises a typed
+error on every attempt.
+"""
+from __future__ import annotations
+
+import logging
+import os
+import time
+import traceback
+from pathlib import Path
+
+from repro.constants import ModelParameters
+from repro.core.driver import DynamicalCore
+from repro.core.resilience import ResilienceConfig
+from repro.grid.latlon import LatLonGrid
+from repro.physics import perturbed_rest_state
+from repro.serve.job import JobPoisoned, JobSpec, state_digest
+from repro.state.io import state_npz_bytes
+
+logger = logging.getLogger(__name__)
+
+#: exit code of a chaos-injected hard crash (distinguishable in waitpid)
+CRASH_EXIT_CODE = 13
+
+
+class _Chaos:
+    """Deterministic misbehavior bound to one attempt of one job."""
+
+    def __init__(self, clause: dict | None, attempt: int,
+                 allow_exit: bool) -> None:
+        clause = clause or {}
+        self.kind = clause.get("kind")
+        self.attempts = set(clause.get("attempts", [1]))
+        self.after_chunks = int(clause.get("after_chunks", 1))
+        self.wedge_seconds = float(clause.get("wedge_seconds", 3600.0))
+        self.attempt = attempt
+        self.allow_exit = allow_exit
+
+    @property
+    def armed(self) -> bool:
+        if self.kind == "poison":
+            return True  # poison fires on every attempt: retries exhaust
+        return self.kind is not None and self.attempt in self.attempts
+
+    def at_start(self) -> None:
+        if self.kind == "poison":
+            raise JobPoisoned(
+                f"poison job failed deterministically (attempt "
+                f"{self.attempt})"
+            )
+
+    def on_chunk(self, committed: int) -> None:
+        if not self.armed or committed < self.after_chunks:
+            return
+        if self.kind == "crash":
+            if self.allow_exit:
+                os._exit(CRASH_EXIT_CODE)  # hard crash: no cleanup, no report
+            raise ChildProcessError(
+                "simulated worker crash (thread-mode worker cannot exit "
+                "the server process)"
+            )
+        if self.kind == "wedge":
+            # stop making progress without dying: the heartbeat watchdog,
+            # not this sleep, decides when the attempt ends
+            time.sleep(self.wedge_seconds)
+
+
+def execute_job(
+    spec: JobSpec,
+    attempt: int,
+    workdir: str | Path,
+    heartbeat=None,
+    allow_exit: bool = True,
+) -> dict:
+    """Run one job attempt to completion; returns the result payload.
+
+    ``workdir`` holds the job's checkpoints across attempts — attempt
+    N+1 resumes from attempt N's last committed chunk.  ``heartbeat``
+    (if given) is called with a small progress dict at start and after
+    every committed chunk.
+    """
+    workdir = Path(workdir)
+    ckdir = workdir / "ckpt"
+    chaos = _Chaos(spec.chaos, attempt, allow_exit)
+
+    grid = LatLonGrid(nx=spec.nx, ny=spec.ny, nz=spec.nz)
+    params = ModelParameters(
+        dt_adaptation=spec.dt_adaptation,
+        dt_advection=spec.dt_advection,
+        m_iterations=spec.m_iterations,
+    )
+    core = DynamicalCore(
+        grid,
+        algorithm=spec.algorithm,
+        nprocs=spec.nprocs,
+        params=params,
+        backend=spec.backend,
+    )
+    state0 = perturbed_rest_state(grid, amplitude_k=spec.amplitude_k)
+
+    if heartbeat is not None:
+        heartbeat({"step": 0, "of": spec.nsteps, "attempt": attempt})
+    chaos.at_start()
+
+    committed = 0
+
+    def on_chunk(step: int, nsteps: int) -> None:
+        nonlocal committed
+        committed += 1
+        if heartbeat is not None:
+            heartbeat({"step": step, "of": nsteps, "attempt": attempt})
+        chaos.on_chunk(committed)
+
+    rcfg = ResilienceConfig(
+        checkpoint_dir=ckdir,
+        checkpoint_interval=spec.checkpoint_interval,
+        max_restarts=4,
+        resume=True,          # fresh dir on attempt 1 -> starts from state0
+        on_chunk=on_chunk,
+    )
+    final, diag, report = core.run_resilient(state0, spec.nsteps, rcfg)
+    return {
+        "data": state_npz_bytes(final, step=spec.nsteps),
+        "digest": state_digest(final),
+        "resumed_from_step": report.resumed_from_step,
+        "restarts": report.nrestarts,
+        "makespan": diag.makespan,
+    }
+
+
+def worker_main(conn, worker_id: int, work_root: str | Path,
+                allow_exit: bool = True) -> None:
+    """The worker loop: recv job → execute → report, until stop/EOF.
+
+    Runs in a dedicated OS process normally, or in a thread when the
+    supervisor has degraded (``allow_exit=False`` then converts chaos
+    crashes into exceptions so a test job cannot kill the server).
+    """
+    work_root = Path(work_root)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return  # supervisor is gone; nothing to report to
+        if msg[0] == "stop":
+            return
+        payload = msg[1]
+        job_id = payload["job_id"]
+        attempt = payload["attempt"]
+        key = payload["key"]
+        spec = JobSpec(**payload["spec"])
+
+        def hb(info, _job_id=job_id):
+            try:
+                conn.send(("hb", _job_id, info))
+            except OSError:
+                pass  # supervisor stopped listening; keep computing
+
+        try:
+            conn.send(("start", job_id, attempt))
+            workdir = work_root / key
+            workdir.mkdir(parents=True, exist_ok=True)
+            out = execute_job(
+                spec, attempt, workdir, heartbeat=hb, allow_exit=allow_exit
+            )
+            conn.send(("done", job_id, attempt, out))
+        except BaseException as exc:  # noqa: BLE001 - typed report to caller
+            try:
+                conn.send((
+                    "fail", job_id, attempt,
+                    type(exc).__name__, str(exc) or type(exc).__name__,
+                    traceback.format_exc(),
+                ))
+            except (OSError, ValueError):
+                return
+
+
+def worker_process_entry(conn, worker_id: int, work_root: str) -> None:
+    """Entry point of one worker *process* (fork start method)."""
+    worker_main(conn, worker_id, work_root, allow_exit=True)

@@ -35,7 +35,12 @@ from repro.simmpi.network import (
     payload_checksum,
 )
 from repro.simmpi.stats import CommStats
-from repro.simmpi.transport import LinkHealth, TransportConfig, detection_delay
+from repro.simmpi.transport import (
+    LinkHealth,
+    TransportConfig,
+    detection_delay,
+    jitter_unit,
+)
 
 
 class SimWorld:
@@ -335,8 +340,16 @@ class SimComm:
                 # Failed wire attempt: pay its overhead plus the
                 # detection + backoff delay, then go around again.
                 overhead = alpha_f * self.machine.alpha
+                u = 0.5
+                if transport.rto_jitter > 0.0:
+                    seed = (
+                        self._injector.plan.seed
+                        if self._injector is not None else 0
+                    )
+                    u = jitter_unit(seed, attempt, self.rank, dest, retry)
                 delay = detection_delay(
-                    transport, self.machine, action, payload.nbytes, retry
+                    transport, self.machine, action, payload.nbytes, retry,
+                    u=u,
                 )
                 self.clock += overhead + delay
                 self.stats.p2p_time += overhead + delay

@@ -108,6 +108,46 @@ class SpmdResult:
 
 BACKENDS = ("thread", "process")
 
+#: default extra wall-clock slack granted past ``timeout`` before the
+#: join watchdog declares the run wedged
+DEFAULT_JOIN_GRACE = 30.0
+
+
+def reap_processes(
+    procs,
+    *,
+    join_timeout: float = 2.0,
+    term_timeout: float = 5.0,
+    kill_timeout: float = 5.0,
+) -> list[int]:
+    """Join, then terminate, then kill: never leave a child running.
+
+    The escalation ladder of process cleanup — a polite ``join``, a
+    SIGTERM with a grace period, and finally SIGKILL for children that
+    ignore SIGTERM (wedged in a handler, signal-blocked, ...).  Returns
+    the pids that needed SIGKILL.  Shared by the SPMD process backend
+    and the :mod:`repro.serve` worker supervisor: any component that
+    owns child processes must be able to reap a wedged one without
+    hanging itself.
+    """
+    procs = list(procs)
+    for p in procs:
+        p.join(timeout=join_timeout)
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        if p.is_alive():
+            p.join(timeout=term_timeout)
+    killed: list[int] = []
+    for p in procs:
+        if p.is_alive():
+            p.kill()
+            p.join(timeout=kill_timeout)
+            if p.pid is not None:
+                killed.append(p.pid)
+    return killed
+
 
 def run_spmd(
     nranks: int,
@@ -121,6 +161,7 @@ def run_spmd(
     transport: TransportConfig | None = None,
     backend: str = "thread",
     shm_link_bytes: int | None = None,
+    join_grace: float = DEFAULT_JOIN_GRACE,
 ) -> SpmdResult:
     """Run ``fn(comm, *args)`` on ``nranks`` simulated ranks.
 
@@ -166,6 +207,12 @@ def run_spmd(
         Process backend only: ring capacity per directed link (default
         sized by :func:`repro.simmpi.shm.default_link_bytes`; larger
         messages stream through in chunks).
+    join_grace:
+        Hard join watchdog: wall-clock slack past ``timeout`` before a
+        rank that neither reported nor died is declared wedged and the
+        run fails with :class:`SpmdError` (process backend children are
+        then terminated, escalating to SIGKILL).  A hung child must
+        never hang the caller.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; pick from {BACKENDS}")
@@ -184,6 +231,7 @@ def run_spmd(
                 verify_checksums=verify_checksums,
                 transport=transport,
                 shm_link_bytes=shm_link_bytes,
+                join_grace=join_grace,
             )
         # single rank: the serial fast path below is already process-free
     injector = faults.injector() if isinstance(faults, FaultPlan) else faults
@@ -234,7 +282,7 @@ def run_spmd(
         for t in threads:
             t.start()
         for t in threads:
-            t.join(timeout=timeout + 30.0)
+            t.join(timeout=timeout + join_grace)
         hung = [t.name for t in threads if t.is_alive()]
         if hung and not failures:
             backlog = {
@@ -352,6 +400,7 @@ def _run_spmd_process(
     verify_checksums: bool,
     transport: TransportConfig | None,
     shm_link_bytes: int | None,
+    join_grace: float,
 ) -> SpmdResult:
     """One OS process per rank over shared-memory rings (fork start method).
 
@@ -397,7 +446,7 @@ def _run_spmd_process(
         pending = dict(conns)
         reports: dict[int, dict] = {}
         crashed: dict[int, int | None] = {}
-        deadline = time.monotonic() + timeout + 30.0
+        deadline = time.monotonic() + timeout + join_grace
         while pending:
             ready = conn_wait(list(pending.values()), timeout=0.5)
             for conn in ready:
@@ -414,7 +463,8 @@ def _run_spmd_process(
                 del pending[r]
             if pending and time.monotonic() > deadline:
                 world.abort(
-                    f"SPMD run exceeded its {timeout + 30.0:.0f}s deadline"
+                    f"SPMD run exceeded its {timeout + join_grace:.0f}s "
+                    "deadline"
                 )
                 # one last short grace period for in-flight reports
                 for conn in conn_wait(list(pending.values()), timeout=2.0):
@@ -477,11 +527,9 @@ def _run_spmd_process(
             results=results, stats=stats, clocks=clocks, traces=tracers
         )
     finally:
-        for p in procs.values():
-            p.join(timeout=2.0)
-            if p.is_alive():
-                p.terminate()
-                p.join(timeout=5.0)
+        # hard reap: a child wedged in a handler (or ignoring SIGTERM)
+        # must never outlive the run — escalate join -> TERM -> KILL
+        reap_processes(procs.values())
         for conn in conns.values():
             conn.close()
         world.destroy()

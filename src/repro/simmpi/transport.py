@@ -26,9 +26,29 @@ full transfer plus a NACK flight back.
 """
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass
 
 from repro.simmpi.machine import MachineModel
+
+
+def jitter_unit(
+    seed: int, attempt: int, src: int, dest: int, retry: int
+) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for one wire attempt.
+
+    A pure hash of ``(seed, attempt, link, retry)`` — no RNG state is
+    consumed, so arming jitter perturbs nothing else, and the draw is
+    identical regardless of thread scheduling or platform.  Different
+    links (and different retries of one link) get decorrelated values,
+    which is exactly what desynchronizes retransmit bursts.
+    """
+    digest = hashlib.blake2b(
+        struct.pack("<qqqqq", seed, attempt, src, dest, retry),
+        digest_size=8,
+    ).digest()
+    return int.from_bytes(digest, "little") / 2.0**64
 
 
 @dataclass(frozen=True)
@@ -52,6 +72,15 @@ class TransportConfig:
     rto_factor / rto_max:
         Exponential backoff of the timeout: retry ``k`` (0-based) waits
         ``min(rto * rto_factor**k, rto_max)``.
+    rto_jitter:
+        Deterministic seeded jitter fraction in ``[0, 1]`` applied to the
+        backed-off timeout: the wait is scaled by
+        ``1 + rto_jitter * (u - 0.5)`` with ``u`` the per-link draw of
+        :func:`jitter_unit` (seeded from the fault plan's seed), so
+        synchronized retransmit bursts across links de-phase instead of
+        self-amplifying.  The default ``0.0`` reproduces the un-jittered
+        seed behavior bit-identically; a non-zero value is still fully
+        deterministic under the existing fault seed.
     breaker_threshold:
         Consecutive failed wire attempts on one directed link that trip
         its circuit breaker; an open breaker skips retransmission
@@ -64,6 +93,7 @@ class TransportConfig:
     rto_base: float | None = None
     rto_factor: float = 2.0
     rto_max: float = 1.0
+    rto_jitter: float = 0.0
     breaker_threshold: int = 8
 
     def __post_init__(self) -> None:
@@ -73,17 +103,30 @@ class TransportConfig:
             raise ValueError("rto_base must be >= 0")
         if self.rto_factor < 1.0:
             raise ValueError("rto_factor must be >= 1")
+        if not 0.0 <= self.rto_jitter <= 1.0:
+            raise ValueError("rto_jitter must be in [0, 1]")
         if self.breaker_threshold < 1:
             raise ValueError("breaker_threshold must be >= 1")
 
-    def rto(self, machine: MachineModel, nbytes: int, retry: int) -> float:
-        """Backed-off retransmission timeout of retry ``retry`` (0-based)."""
+    def rto(
+        self, machine: MachineModel, nbytes: int, retry: int, u: float = 0.5
+    ) -> float:
+        """Backed-off retransmission timeout of retry ``retry`` (0-based).
+
+        ``u`` is the deterministic jitter draw (see :func:`jitter_unit`);
+        the default midpoint ``0.5`` makes the jitter term vanish, so
+        callers that do not thread a draw reproduce the un-jittered
+        timeout exactly.
+        """
         base = (
             self.rto_base
             if self.rto_base is not None
             else 2.0 * machine.alpha + machine.beta * nbytes
         )
-        return min(base * self.rto_factor**retry, self.rto_max)
+        delay = min(base * self.rto_factor**retry, self.rto_max)
+        if self.rto_jitter > 0.0:
+            delay *= 1.0 + self.rto_jitter * (u - 0.5)
+        return delay
 
 
 class LinkHealth:
@@ -118,15 +161,17 @@ def detection_delay(
     action: str,
     nbytes: int,
     retry: int,
+    u: float = 0.5,
 ) -> float:
     """Logical seconds from a failed wire attempt to its retransmission.
 
     A *drop* is noticed when no ack arrives within the (backed-off) RTO;
     a *corrupt* attempt travels the full wire before the receiver NACKs
     it, so the sender pays the transfer plus the NACK flight, then the
-    same backoff.
+    same backoff.  ``u`` threads the deterministic jitter draw through
+    to :meth:`TransportConfig.rto`.
     """
-    delay = config.rto(machine, nbytes, retry)
+    delay = config.rto(machine, nbytes, retry, u=u)
     if action == "corrupt":
         delay += machine.alpha + machine.beta * nbytes + machine.alpha
     return delay

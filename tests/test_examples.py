@@ -16,6 +16,7 @@ CASES = [
     ("timeline_trace.py", ["--quick"]),
     ("approximation_error.py", ["--quick"]),
     ("fault_tolerance.py", ["--quick"]),
+    ("serve_demo.py", ["--quick"]),
 ]
 
 

@@ -154,3 +154,54 @@ class TestObsMerge:
                 assert ranks == {0, 1}, backend
         # 2 exchanges/step x 2 steps x 2 ranks on both backends
         assert counts["thread"] == counts["process"] == 8
+
+
+def _wedge_rank(comm):
+    """Rank 1 wedges forever without touching the network."""
+    import time
+
+    if comm.rank == 1:
+        time.sleep(3600.0)
+    return comm.rank
+
+
+def _stubborn_child():
+    """Ignores SIGTERM: only SIGKILL can reap it."""
+    import signal
+    import time
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(3600.0)
+
+
+class TestJoinWatchdog:
+    def test_wedged_child_surfaces_as_spmd_error_within_deadline(self):
+        """A child that hangs outside the communication layer (so the
+        simulated network's deadlock timeout never sees it) must still
+        surface as SpmdError once the hard join watchdog expires — a
+        wedged child never hangs the launcher."""
+        import time
+
+        t0 = time.monotonic()
+        with pytest.raises(SpmdError, match="still running"):
+            run_spmd(
+                2, _wedge_rank, backend="process",
+                timeout=1.0, join_grace=1.0,
+            )
+        assert time.monotonic() - t0 < 30.0
+
+    def test_reap_escalates_to_sigkill(self):
+        import multiprocessing
+        import time
+
+        from repro.simmpi.launcher import reap_processes
+
+        ctx = multiprocessing.get_context("fork")
+        p = ctx.Process(target=_stubborn_child, daemon=True)
+        p.start()
+        time.sleep(0.3)  # let the child install its SIGTERM handler
+        killed = reap_processes(
+            [p], join_timeout=0.1, term_timeout=0.5, kill_timeout=10.0
+        )
+        assert not p.is_alive()
+        assert p.pid in killed

@@ -309,3 +309,40 @@ class TestDiagnosticsAccumulation:
             sum(report.chunk_makespans)
         )
         assert chunk_diag.c_calls == plain_diag.c_calls
+
+
+class TestVerifiedResumeFallback:
+    def test_resume_skips_torn_newest_checkpoint(
+        self, tmp_path, grid, params, state0
+    ):
+        """Kill-during-checkpoint drill: the newest checkpoint is torn
+        (truncated mid-write); a resume must fall back to the previous
+        good one and still reproduce the uninterrupted run exactly."""
+        core = make_core(grid, params, "serial")
+        plain, _ = core.run(state0, NSTEPS)
+
+        first = ResilienceConfig(
+            checkpoint_dir=tmp_path, checkpoint_interval=1
+        )
+        core.run_resilient(state0, 2, first)  # checkpoints at 0, 1, 2
+        newest = checkpoint_path(tmp_path, 2)
+        newest.write_bytes(newest.read_bytes()[:64])
+
+        rcfg = ResilienceConfig(
+            checkpoint_dir=tmp_path, checkpoint_interval=1, resume=True
+        )
+        final, _, report = core.run_resilient(state0, NSTEPS, rcfg)
+        assert report.resumed_from_step == 1  # not 2: torn file skipped
+        assert plain.max_difference(final) < 1e-12
+
+    def test_on_chunk_hook_fires_per_committed_chunk(
+        self, tmp_path, grid, params, state0
+    ):
+        core = make_core(grid, params, "serial")
+        seen = []
+        rcfg = ResilienceConfig(
+            checkpoint_dir=tmp_path, checkpoint_interval=1,
+            on_chunk=lambda step, total: seen.append((step, total)),
+        )
+        core.run_resilient(state0, NSTEPS, rcfg)
+        assert seen == [(1, NSTEPS), (2, NSTEPS), (3, NSTEPS)]

@@ -1,0 +1,191 @@
+"""Failure matrix of the multi-tenant job runner (``repro.serve``).
+
+Every scenario from docs/serve.md: clean runs and cache hits, worker
+crash mid-job (retried to success, resuming from checkpoints), poison
+jobs (typed permanent failure, pool stays healthy), wedged workers
+(heartbeat watchdog kill within deadline), queue-full shedding, cache
+corruption quarantine, and the degradation ladder down to thread-mode
+workers.  All chaos is declarative and seeded — no sleeps-and-hope.
+"""
+import pytest
+
+from repro.serve import (
+    JobServer,
+    JobSpec,
+    ServerBusy,
+)
+
+#: generous wall-clock ceiling per result on a loaded 1-vCPU CI box
+WAIT = 120.0
+
+
+def small_server(tmp_path, **kw):
+    kw.setdefault("workers", 1)
+    kw.setdefault("heartbeat_timeout", 10.0)
+    kw.setdefault("backoff_base", 0.01)
+    kw.setdefault("backoff_max", 0.05)
+    return JobServer(tmp_path / "cache", **kw)
+
+
+class TestHappyPath:
+    def test_clean_job_then_cache_hit_bit_identical(self, tmp_path):
+        with small_server(tmp_path) as srv:
+            spec = JobSpec(name="clean", nsteps=2)
+            cold = srv.submit(spec).result(timeout=WAIT)
+            assert cold.ok and not cold.cache_hit and cold.attempts == 1
+            assert cold.artifact.exists()
+            hit = srv.submit(spec).result(timeout=WAIT)
+            assert hit.ok and hit.cache_hit
+            assert hit.state_digest == cold.state_digest
+            assert srv.counter_value("serve_cache_hits_total") == 1
+
+    def test_concurrent_duplicates_coalesce(self, tmp_path):
+        with small_server(tmp_path) as srv:
+            spec = JobSpec(name="dup", nsteps=3)
+            handles = [srv.submit(spec) for _ in range(3)]
+            results = [h.result(timeout=WAIT) for h in handles]
+            assert all(r.ok for r in results)
+            assert len({r.state_digest for r in results}) == 1
+            # exactly one execution; the rest piggybacked or hit the cache
+            assert srv.counter_value("serve_jobs_total", status="ok") == 3
+            piggybacked = srv.counter_value(
+                "serve_coalesced_total"
+            ) + srv.counter_value("serve_cache_hits_total")
+            assert piggybacked == 2
+
+    def test_submit_after_close_raises(self, tmp_path):
+        srv = small_server(tmp_path)
+        srv.close()
+        with pytest.raises(RuntimeError):
+            srv.submit(JobSpec())
+
+
+class TestFailureMatrix:
+    def test_crash_mid_job_retried_resumes_and_succeeds(self, tmp_path):
+        with small_server(tmp_path) as srv:
+            crash = JobSpec(
+                name="crashy", nsteps=3,
+                chaos={"kind": "crash", "attempts": [1], "after_chunks": 2},
+            )
+            r = srv.submit(crash).result(timeout=WAIT)
+            assert r.ok and r.attempts == 2
+            # attempt 2 resumed from attempt 1's committed checkpoints
+            assert r.resumed_from_step == 2
+            assert srv.counter_value(
+                "serve_retries_total", reason="WorkerCrash"
+            ) == 1
+            # ...and produced exactly the bits of an undisturbed run
+            clean = srv.submit(
+                JobSpec(name="undisturbed", nsteps=3)
+            ).result(timeout=WAIT)
+            assert clean.ok
+            assert clean.state_digest == r.state_digest
+
+    def test_poison_job_typed_failure_pool_stays_healthy(self, tmp_path):
+        with small_server(tmp_path, max_retries=1) as srv:
+            r = srv.submit(
+                JobSpec(name="poison", chaos={"kind": "poison"})
+            ).result(timeout=WAIT)
+            assert r.status == "failed"
+            assert r.error_type == "JobPoisoned"
+            assert r.attempts == 2  # max_retries + 1, then typed failure
+            after = srv.submit(JobSpec(name="after")).result(timeout=WAIT)
+            assert after.ok
+
+    def test_wedged_worker_killed_within_deadline(self, tmp_path):
+        import time
+
+        with small_server(tmp_path, heartbeat_timeout=1.0) as srv:
+            t0 = time.monotonic()
+            r = srv.submit(
+                JobSpec(name="wedge", nsteps=2,
+                        chaos={"kind": "wedge", "attempts": [1]})
+            ).result(timeout=WAIT)
+            elapsed = time.monotonic() - t0
+            assert r.ok and r.watchdog_kills == 1 and r.attempts == 2
+            # one heartbeat window + retry, not the 3600s chaos sleep
+            assert elapsed < 60.0
+            assert srv.counter_value("serve_watchdog_kills_total") == 1
+
+    def test_queue_full_sheds_with_typed_error(self, tmp_path):
+        with small_server(tmp_path, max_queue=1) as srv:
+            specs = [
+                JobSpec(name=f"burst-{i}", nsteps=6, amplitude_k=1.0 + i)
+                for i in range(6)
+            ]
+            shed = 0
+            handles = []
+            for spec in specs:
+                try:
+                    handles.append(srv.submit(spec))
+                except ServerBusy as exc:
+                    shed += 1
+                    assert exc.limit == 1 and exc.depth >= 1
+            assert shed >= 1
+            assert srv.counter_value("serve_shed_total") == shed
+            # admitted jobs all complete; shed ones never got a handle
+            assert all(h.result(timeout=WAIT).ok for h in handles)
+
+    def test_corrupt_cache_entry_quarantined_and_recomputed(self, tmp_path):
+        with small_server(tmp_path) as srv:
+            spec = JobSpec(name="corruptme", nsteps=2)
+            cold = srv.submit(spec).result(timeout=WAIT)
+            srv.cache.corrupt_entry_for_test(cold.key)
+            redo = srv.submit(spec).result(timeout=WAIT)
+            assert redo.ok and not redo.cache_hit
+            assert redo.state_digest == cold.state_digest
+            assert len(srv.cache.quarantined()) >= 1
+            assert srv.counter_value("serve_cache_corrupt_total") == 1
+            # and the recomputed entry serves hits again
+            again = srv.submit(spec).result(timeout=WAIT)
+            assert again.ok and again.cache_hit
+
+
+class _NoFork(JobServer):
+    """A server whose process substrate is broken (degradation testing)."""
+
+    def _start_worker_process(self, w):
+        raise OSError("injected: process pool unavailable")
+
+
+class TestDegradation:
+    def test_falls_back_to_threads_and_keeps_serving(self, tmp_path):
+        with _NoFork(tmp_path / "cache", workers=1,
+                     backoff_base=0.01, backoff_max=0.05) as srv:
+            assert srv.executor == "thread"
+            assert srv.counter_value("serve_downgrades_total") >= 1
+            r = srv.submit(JobSpec(name="degraded")).result(timeout=WAIT)
+            assert r.ok
+
+    def test_thread_mode_contains_chaos_crash(self, tmp_path):
+        # allow_exit=False in degraded mode: a chaos "crash" becomes an
+        # in-worker exception — retried like any failure, server intact
+        with _NoFork(tmp_path / "cache", workers=1,
+                     backoff_base=0.01, backoff_max=0.05) as srv:
+            r = srv.submit(
+                JobSpec(name="tcrash", nsteps=2,
+                        chaos={"kind": "crash", "attempts": [1]})
+            ).result(timeout=WAIT)
+            assert r.ok and r.attempts == 2
+
+
+class TestIsolation:
+    def test_no_cross_tenant_leakage(self, tmp_path):
+        """Jobs sharing physics produce identical bits regardless of
+        tenant name, chaos, or execution history; different physics
+        never collide."""
+        with small_server(tmp_path, workers=2) as srv:
+            specs = [
+                JobSpec(name="t1", nsteps=2, amplitude_k=1.0),
+                JobSpec(name="t2", nsteps=2, amplitude_k=1.0,
+                        chaos={"kind": "crash", "attempts": [1]}),
+                JobSpec(name="t3", nsteps=2, amplitude_k=2.0),
+            ]
+            results = [
+                srv.submit(s).result(timeout=WAIT) for s in specs
+            ]
+            assert all(r.ok for r in results)
+            same, chaotic, different = results
+            assert specs[0].physics_key() == specs[1].physics_key()
+            assert same.state_digest == chaotic.state_digest
+            assert different.state_digest != same.state_digest

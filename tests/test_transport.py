@@ -312,3 +312,73 @@ class TestInjectorReseeding:
         replay.begin_attempt()
         draws2b = [replay.on_send(0, 1, NBYTES, 0.0)[0] for _ in range(24)]
         assert draws2b == draws2
+
+
+class TestSeededJitter:
+    def test_jitter_unit_deterministic_and_bounded(self):
+        from repro.simmpi.transport import jitter_unit
+
+        draws = [jitter_unit(0, a, 0, 1, r)
+                 for a in range(5) for r in range(5)]
+        again = [jitter_unit(0, a, 0, 1, r)
+                 for a in range(5) for r in range(5)]
+        assert draws == again
+        assert all(0.0 <= u < 1.0 for u in draws)
+        # decorrelated across seed, link and retry
+        assert jitter_unit(0, 1, 0, 1, 0) != jitter_unit(1, 1, 0, 1, 0)
+        assert jitter_unit(0, 1, 0, 1, 0) != jitter_unit(0, 1, 1, 0, 0)
+        assert jitter_unit(0, 1, 0, 1, 0) != jitter_unit(0, 1, 0, 1, 1)
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError):
+            TransportConfig(rto_jitter=-0.1)
+        with pytest.raises(ValueError):
+            TransportConfig(rto_jitter=1.5)
+
+    def test_default_off_ignores_the_draw(self):
+        cfg = TransportConfig(rto_base=1e-3)
+        assert cfg.rto_jitter == 0.0
+        assert cfg.rto(LAPTOP_LIKE, NBYTES, 1, u=0.0) == \
+            cfg.rto(LAPTOP_LIKE, NBYTES, 1, u=0.999)
+
+    def test_jitter_scales_around_the_deterministic_rto(self):
+        base = TransportConfig(rto_base=1e-3, rto_factor=2.0)
+        jit = TransportConfig(rto_base=1e-3, rto_factor=2.0,
+                              rto_jitter=0.5)
+        center = base.rto(LAPTOP_LIKE, NBYTES, 1)
+        assert jit.rto(LAPTOP_LIKE, NBYTES, 1, u=0.5) == center
+        lo = jit.rto(LAPTOP_LIKE, NBYTES, 1, u=0.0)
+        hi = jit.rto(LAPTOP_LIKE, NBYTES, 1, u=0.999999)
+        assert lo == pytest.approx(center * 0.75)
+        assert hi < center * 1.25
+        assert lo < center < hi
+
+    def test_chaos_run_with_jitter_is_reproducible(self):
+        """The jitter draw is threaded from the fault plan's seed: the
+        same chaos run twice is bit-identical, clocks included."""
+        plan = FaultPlan(
+            seed=11,
+            link_faults=(LinkFault(drop_probability=1.0, t_end=1e-6),),
+        )
+        cfg = TransportConfig(rto_jitter=0.4)
+        a = run_spmd(NR, exchange, faults=plan, transport=cfg)
+        b = run_spmd(NR, exchange, faults=plan, transport=cfg)
+        assert a.clocks == b.clocks
+        assert a.results == b.results
+        assert a.critical_stats().retransmits >= 1
+
+    def test_default_config_unchanged_by_jitter_feature(self):
+        """rto_jitter=0 (the default) is bit-identical to the pre-jitter
+        transport: chaos suites keep their exact clocks."""
+        plan = FaultPlan(
+            seed=0,
+            link_faults=(LinkFault(drop_probability=1.0, t_end=1e-6),),
+        )
+        off = run_spmd(NR, exchange, faults=plan,
+                       transport=TransportConfig())
+        on = run_spmd(NR, exchange, faults=plan,
+                      transport=TransportConfig(rto_jitter=0.0))
+        assert off.clocks == on.clocks
+        jittered = run_spmd(NR, exchange, faults=plan,
+                            transport=TransportConfig(rto_jitter=0.9))
+        assert jittered.results == off.results  # data identical; time not
