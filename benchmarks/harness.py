@@ -26,6 +26,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.perf.wallclock import (  # noqa: E402
     compare_reports,
+    kernel_tier_violations,
     load_report,
     parallel_scaling_violations,
     run_benchmarks,
@@ -45,6 +46,17 @@ def _render(report: dict) -> str:
                     f"    {name:<11} seed {rec['seed_ms']:8.3f} ms   "
                     f"ws {rec['ws_ms']:8.3f} ms   x{rec['speedup']:.2f}"
                 )
+            continue
+        if case["kind"] == "kernel_tiers":
+            gate = " [gate]" if case.get("gate_enforced") else ""
+            bits = "bit-identical" if case["bit_identical"] else "DIVERGED"
+            lines.append(
+                f"  kernel tiers [{case['mesh']:<6}] "
+                f"reference {case['reference_ms_per_step']:8.2f} ms/step   "
+                f"fused[{case['backend']}] "
+                f"{case['fused_ms_per_step']:8.2f} ms/step   "
+                f"x{case['speedup']:.2f}  ({bits}){gate}"
+            )
             continue
         if case["kind"] == "transport_overhead":
             tag = f"transport {case['algorithm']}@{case['nprocs']}"
@@ -95,6 +107,9 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
                     help="CI-sized run: small mesh, fewer steps")
+    ap.add_argument("--tiers", action="store_true",
+                    help="kernel-tier cases only: medium-mesh reference vs "
+                         "fused with the bit-identity + speedup gates")
     ap.add_argument("--repeats", type=int, default=1,
                     help="best-of-N repeats for the serial throughput cases")
     ap.add_argument("--out", default=".",
@@ -112,8 +127,30 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check is not None:
         report = load_report(args.check)
+    elif args.tiers:
+        from repro.perf.wallclock import (
+            MEDIUM,
+            SMALL,
+            BENCH_SEED,
+            SCHEMA_VERSION,
+            bench_kernel_tiers,
+            machine_info,
+        )
+
+        report = {
+            "schema_version": SCHEMA_VERSION,
+            "quick": args.quick,
+            "bench_seed": BENCH_SEED,
+            "machine": machine_info(),
+            "cases": [
+                bench_kernel_tiers(
+                    SMALL if args.quick else MEDIUM, repeats=args.repeats
+                )
+            ],
+        }
     else:
         report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    if args.check is None:
         out = Path(args.out)
         if out.suffix != ".json":
             stamp = datetime.date.today().isoformat()
@@ -121,6 +158,26 @@ def main(argv: list[str] | None = None) -> int:
         path = write_report(report, out)
         print(f"wrote {path}")
     print(_render(report))
+    baseline = load_report(args.baseline) if args.baseline else None
+
+    # absolute gate: the fused kernel tier must track the reference tier
+    # bit for bit, and (where a compiled backend resolved on the medium
+    # mesh) at least double its step rate.  Hosts without a C compiler or
+    # numba run the numpy fallback: recorded, warned about, never gated.
+    tiers = kernel_tier_violations(report, baseline)
+    if tiers:
+        print("\nKERNEL TIER gate failures:")
+        for v in tiers:
+            print(f"  {v}")
+        return 1
+    soft = [
+        c for c in report["cases"]
+        if c.get("kind") == "kernel_tiers" and not c.get("gate_enforced")
+    ]
+    for c in soft:
+        print(f"\nnote: kernel-tier speedup gate skipped on "
+              f"{c['mesh']} (backend {c['backend']!r}, "
+              f"compiled={c['compiled']}) — recorded only")
 
     # absolute gate, no baseline needed: a clean run through the
     # reliable transport must stay within --transport-limit of the raw
@@ -151,9 +208,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\nnote: parallel-scaling gate recorded but not enforced "
               f"(host has {ncpu} core(s))")
 
-    if args.baseline is not None:
+    if baseline is not None:
         regressions = compare_reports(
-            report, load_report(args.baseline), tolerance=args.tolerance
+            report, baseline, tolerance=args.tolerance
         )
         if regressions:
             print("\nREGRESSIONS vs baseline:")

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Maintain BENCH_trajectory.json: the throughput history across CI runs.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/trajectory.py \
+        --report bench-artifacts/BENCH_2026-08-07.json \
+        --history prev-trajectory/BENCH_trajectory.json \
+        --baseline benchmarks/baseline/BENCH_baseline.json \
+        --out bench-artifacts/BENCH_trajectory.json
+
+Each CI bench run downloads the previous run's trajectory artifact,
+appends a condensed entry for the fresh report (per-case steps/s plus
+provenance), and re-publishes the file — so the artifact carries the
+full throughput history forward run over run.  When no previous
+trajectory exists (first run, expired artifact) the history is seeded
+from the committed baseline report instead, so the trajectory always
+starts from the gated reference point.
+
+The file is append-only and bounded: entries beyond ``--keep`` (default
+200) are dropped oldest-first.
+"""
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf.wallclock import case_key, load_report  # noqa: E402
+
+TRAJECTORY_SCHEMA = 1
+
+
+def condense(report: dict, source: str) -> dict:
+    """One trajectory entry: provenance + per-case step rates."""
+    cases = {}
+    for case in report["cases"]:
+        if "steps_per_sec" not in case:
+            continue
+        rec = {"steps_per_sec": case["steps_per_sec"]}
+        if case.get("kind") == "kernel_tiers":
+            rec["speedup"] = case["speedup"]
+            rec["backend"] = case["backend"]
+            rec["bit_identical"] = case["bit_identical"]
+        cases[case_key(case)] = rec
+    machine = report.get("machine", {})
+    return {
+        "date": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_sha": machine.get("git_sha"),
+        "hostname": machine.get("hostname"),
+        "quick": report.get("quick"),
+        "source": source,
+        "cases": cases,
+    }
+
+
+def load_history(path: Path | None, baseline: Path | None) -> dict:
+    """The prior trajectory, or one seeded from the committed baseline."""
+    if path is not None and path.exists():
+        history = json.loads(path.read_text())
+        if history.get("trajectory_schema") != TRAJECTORY_SCHEMA:
+            raise ValueError(
+                f"trajectory schema {history.get('trajectory_schema')!r} "
+                f"unsupported (expected {TRAJECTORY_SCHEMA})"
+            )
+        return history
+    entries = []
+    if baseline is not None and baseline.exists():
+        entries.append(condense(load_report(baseline), source="baseline"))
+    return {"trajectory_schema": TRAJECTORY_SCHEMA, "entries": entries}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--report", required=True,
+                    help="fresh BENCH_*.json report to append")
+    ap.add_argument("--history", default=None,
+                    help="previous BENCH_trajectory.json (may not exist)")
+    ap.add_argument("--baseline", default=None,
+                    help="committed baseline report seeding a new history")
+    ap.add_argument("--out", required=True,
+                    help="path of the updated trajectory JSON")
+    ap.add_argument("--keep", type=int, default=200,
+                    help="max entries retained (oldest dropped first)")
+    args = ap.parse_args(argv)
+
+    history = load_history(
+        Path(args.history) if args.history else None,
+        Path(args.baseline) if args.baseline else None,
+    )
+    history["entries"].append(condense(load_report(args.report), source="ci"))
+    history["entries"] = history["entries"][-args.keep:]
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    n = len(history["entries"])
+    print(f"wrote {out} ({n} entr{'y' if n == 1 else 'ies'})")
+    last = history["entries"][-1]
+    for key, rec in sorted(last["cases"].items()):
+        extra = (
+            f"   x{rec['speedup']:.2f} [{rec['backend']}]"
+            if "speedup" in rec else ""
+        )
+        print(f"  {key:<40} {rec['steps_per_sec']:8.3f} steps/s{extra}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,8 +34,14 @@ def render_tables() -> str:
     """Tables 1-3 as declared stencil footprints."""
     return "\n\n".join(
         [
-            render_table(TABLE1_ADAPTATION, "Table 1: Stencil Computation in Adaptation Process"),
-            render_table(TABLE2_ADVECTION, "Table 2: Stencil Computation in Advection Process"),
+            render_table(
+                TABLE1_ADAPTATION,
+                "Table 1: Stencil Computation in Adaptation Process",
+            ),
+            render_table(
+                TABLE2_ADVECTION,
+                "Table 2: Stencil Computation in Advection Process",
+            ),
             render_table(TABLE3_SMOOTHING, "Table 3: Stencil Computation in Smoothing"),
         ]
     )

@@ -72,6 +72,11 @@ class DistributedConfig:
     #: run the per-rank pool-backed fast path (bit-identical numerics;
     #: ``False`` keeps the original allocating implementation)
     use_workspace: bool = True
+    #: kernel tier per rank: ``"reference"`` or ``"fused"`` (bit-identical
+    #: fused kernels with per-operator fallback; requires ``use_workspace``)
+    kernel_tier: str = "reference"
+    #: fused-kernel backend: ``"auto"``, ``"c"``, ``"numba"`` or ``"numpy"``
+    kernel_backend: str = "auto"
     #: record per-step physics-telemetry partials (local sums/maxes only —
     #: no extra communication; the driver combines them after the run)
     telemetry: bool = False
@@ -135,15 +140,22 @@ class RankContext:
 
         cfg.validate_c_method()
         self.ws = Workspace() if cfg.use_workspace else None
+        self.kernels = None
+        if self.ws is not None:
+            from repro.kernels import kernel_set
+
+            self.kernels = kernel_set(cfg.kernel_tier, cfg.kernel_backend)
         self.smoothers = smoothers_for(cfg.params)
         self._vd_last: VerticalDiagnostics | None = None
         if cfg.c_method == "scan" and decomp.pz > 1:
             self.engine = TendencyEngine(
-                self.geom, cfg.params, scan_z=self._make_scan(), ws=self.ws
+                self.geom, cfg.params, scan_z=self._make_scan(), ws=self.ws,
+                kernels=self.kernels,
             )
         else:
             self.engine = TendencyEngine(
-                self.geom, cfg.params, gather_z=self._make_gather(), ws=self.ws
+                self.geom, cfg.params, gather_z=self._make_gather(), ws=self.ws,
+                kernels=self.kernels,
             )
         # distributed-filter factors (X-Y / 3-D case): full-circle cutoffs
         if not self.geom.full_x:
@@ -412,7 +424,7 @@ class RankContext:
                 slots[a2:b2] = blk.reshape(b2 - a2, nx_i)
             arr[..., mask, gx: gx + nx_i] = slots.reshape(rows.shape)
 
-    # ---- state scatter/gather ---------------------------------------------------------
+    # ---- state scatter/gather -----------------------------------------------
     def pad_local(self, global_state: ModelState) -> ModelState:
         """Scatter this rank's block of a global state into working arrays."""
         g = self.geom
@@ -586,9 +598,19 @@ def original_rank_program(
             # ---- smoothing (the 13th exchange already happened above) ----
             ctx.charge(cfg.weights.smoothing, ctx._wpoints)
             if ring is not None:
-                psi = smooth_state_into(
-                    psi, params, ring.scratch(psi), ctx.ws, ctx.smoothers
+                out_s = ring.scratch(psi)
+                smoothed = (
+                    ctx.kernels.smooth_state_into(
+                        psi, params, out_s, ctx.ws, ctx.smoothers
+                    )
+                    if ctx.kernels is not None
+                    else None
                 )
+                if smoothed is None:
+                    smooth_state_into(
+                        psi, params, out_s, ctx.ws, ctx.smoothers
+                    )
+                psi = out_s
             else:
                 psi = smooth_state(psi, params)
 

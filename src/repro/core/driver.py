@@ -112,6 +112,13 @@ class CoreConfig:
     timeout: float | None = None
     #: pool-backed fast path (bit-identical numerics; False = seed path)
     use_workspace: bool = True
+    #: kernel tier: ``"reference"`` (oracle) or ``"fused"`` (the compiled/
+    #: fused kernels of :mod:`repro.kernels`, bit-identical with
+    #: per-operator fallback).  Env override: ``REPRO_KERNEL_TIER``.
+    kernel_tier: str | None = None
+    #: fused-kernel backend (``"auto"``/``"c"``/``"numba"``/``"numpy"``).
+    #: Env override: ``REPRO_KERNEL_BACKEND``.
+    kernel_backend: str | None = None
     #: SPMD execution backend: ``"thread"`` (default; deterministic fault
     #: injection) or ``"process"`` (one OS process per rank over
     #: shared-memory rings — true multicore, bit-identical numerics).
@@ -137,6 +144,25 @@ class CoreConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; "
                 "pick 'thread' or 'process'"
+            )
+        import os
+
+        from repro.kernels import BACKENDS, TIERS
+
+        if self.kernel_tier is None:
+            self.kernel_tier = os.environ.get("REPRO_KERNEL_TIER", "reference")
+        if self.kernel_backend is None:
+            self.kernel_backend = os.environ.get(
+                "REPRO_KERNEL_BACKEND", "auto"
+            )
+        if self.kernel_tier not in TIERS:
+            raise ValueError(
+                f"unknown kernel_tier {self.kernel_tier!r}; pick from {TIERS}"
+            )
+        if self.kernel_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown kernel_backend {self.kernel_backend!r}; "
+                f"pick from {BACKENDS}"
             )
         self.observe = ObsConfig.coerce(self.observe)
 
@@ -290,6 +316,8 @@ class DynamicalCore:
                 params=cfg.params,
                 forcing=cfg.forcing,
                 use_workspace=cfg.use_workspace,
+                kernel_tier=cfg.kernel_tier,
+                kernel_backend=cfg.kernel_backend,
             )
             monitor = None
             if want_telemetry:
@@ -325,6 +353,8 @@ class DynamicalCore:
             nsteps=nsteps,
             forcing=cfg.forcing,
             use_workspace=cfg.use_workspace,
+            kernel_tier=cfg.kernel_tier,
+            kernel_backend=cfg.kernel_backend,
             telemetry=want_telemetry,
         )
         program = (

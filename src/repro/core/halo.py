@@ -37,7 +37,9 @@ TAG_POLE_N = 8_000
 TAG_POLE_S = 9_000
 
 
-def _axis_slices(n_interior: int, g: int, d: int, side: str, w: int | None = None) -> slice:
+def _axis_slices(
+    n_interior: int, g: int, d: int, side: str, w: int | None = None
+) -> slice:
     """Slice along one axis of the working array for direction ``d``.
 
     ``side="send"`` selects the ``w`` interior cells adjacent to the ``d``
@@ -50,7 +52,9 @@ def _axis_slices(n_interior: int, g: int, d: int, side: str, w: int | None = Non
     if w is None:
         w = g
     if w > g or w > n_interior:
-        raise ValueError(f"exchange width {w} exceeds ghost width {g} or block {n_interior}")
+        raise ValueError(
+            f"exchange width {w} exceeds ghost width {g} or block {n_interior}"
+        )
     if side == "send":
         return slice(g, g + w) if d < 0 else slice(g + n_interior - w, g + n_interior)
     return slice(g - w, g) if d < 0 else slice(g + n_interior, g + n_interior + w)

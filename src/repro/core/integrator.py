@@ -57,6 +57,12 @@ class SerialCore:
     #: run the pool-backed fast path (bit-identical to the allocating
     #: seed path; ``False`` keeps the original allocating implementation)
     use_workspace: bool = True
+    #: kernel tier: ``"reference"`` (the oracle) or ``"fused"`` (the
+    #: compiled/fused kernels of :mod:`repro.kernels`; bit-identical with
+    #: per-operator fallback).  Requires ``use_workspace``.
+    kernel_tier: str = "reference"
+    #: fused-kernel backend: ``"auto"``, ``"c"``, ``"numba"`` or ``"numpy"``
+    kernel_backend: str = "auto"
 
     engine: TendencyEngine = field(init=False, repr=False)
     c_calls: int = field(init=False, default=0)
@@ -69,7 +75,14 @@ class SerialCore:
             self.grid, self.sigma, gy=SERIAL_GHOST_Y, gz=0
         )
         self.ws = Workspace() if self.use_workspace else None
-        self.engine = TendencyEngine(geom, self.params, ws=self.ws)
+        self.kernels = None
+        if self.ws is not None:
+            from repro.kernels import kernel_set
+
+            self.kernels = kernel_set(self.kernel_tier, self.kernel_backend)
+        self.engine = TendencyEngine(
+            geom, self.params, ws=self.ws, kernels=self.kernels
+        )
         self._vd_stale: VerticalDiagnostics | None = None
         if self.ws is not None:
             self._ring = StateRing(self.ws, geom.shape3d)
@@ -203,9 +216,18 @@ class SerialCore:
         )
         eng.fill_physical_ghosts(zeta3)
 
-        out = smooth_state_into(
-            zeta3, self.params, ring.scratch(zeta3), self.ws, self._smoothers
+        out = ring.scratch(zeta3)
+        smoothed = (
+            self.kernels.smooth_state_into(
+                zeta3, self.params, out, self.ws, self._smoothers
+            )
+            if self.kernels is not None
+            else None
         )
+        if smoothed is None:
+            smooth_state_into(
+                zeta3, self.params, out, self.ws, self._smoothers
+            )
         eng.fill_physical_ghosts(out)
 
         if self.forcing is not None:

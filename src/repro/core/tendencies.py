@@ -59,6 +59,10 @@ class TendencyEngine:
     #: their pool-backed fast paths (bit-identical to the allocating seed
     #: paths) and tendencies land in one engine-owned buffer
     ws: object | None = None
+    #: optional fused kernel tier (:class:`repro.kernels.KernelSet`); each
+    #: operator call it cannot fuse falls back to the reference path below,
+    #: so results are identical either way
+    kernels: object | None = None
 
     def __post_init__(self) -> None:
         if self.polar_filter is None and self.geom.full_x:
@@ -105,6 +109,13 @@ class TendencyEngine:
                 state.U, state.V, state.Phi, state.psa, self.geom,
                 exscan, allreduce, self.reference,
             )
+        if self.kernels is not None and self.ws is not None:
+            vd = self.kernels.vertical(
+                state.U, state.V, state.Phi, state.psa, self.geom,
+                self.gather_z, self.ws, self._vert_cache,
+            )
+            if vd is not None:
+                return vd
         if self.ws is not None:
             return compute_vertical_diagnostics(
                 state.U, state.V, state.Phi, state.psa, self.geom,
@@ -133,6 +144,13 @@ class TendencyEngine:
         With a workspace configured, the tendency is written into the
         engine-owned buffer (valid until the next tendency evaluation).
         """
+        if self.kernels is not None and self.ws is not None:
+            out = self.kernels.adaptation(
+                state, vd, self.geom, self.params,
+                self.ws, self._tend, self._adapt_cache,
+            )
+            if out is not None:
+                return out
         if self.ws is not None:
             return adaptation_tendency(
                 state, vd, self.geom, self.params,
@@ -146,6 +164,12 @@ class TendencyEngine:
     ) -> ModelState:
         """``L``: the (unfiltered) advection tendency with frozen
         ``sigma-dot``."""
+        if self.kernels is not None and self.ws is not None:
+            out = self.kernels.advection(
+                state, vd, self.geom, self.ws, self._tend, self._advec_cache,
+            )
+            if out is not None:
+                return out
         if self.ws is not None:
             return advection_tendency(
                 state, vd, self.geom,

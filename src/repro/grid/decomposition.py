@@ -79,7 +79,11 @@ class BlockExtent:
 
     def slices3d(self) -> tuple[slice, slice, slice]:
         """Slices selecting this block out of a global ``(nz, ny, nx)`` array."""
-        return (slice(self.z0, self.z1), slice(self.y0, self.y1), slice(self.x0, self.x1))
+        return (
+            slice(self.z0, self.z1),
+            slice(self.y0, self.y1),
+            slice(self.x0, self.x1),
+        )
 
     def slices2d(self) -> tuple[slice, slice]:
         """Slices selecting this block out of a global ``(ny, nx)`` array."""
@@ -225,7 +229,7 @@ class Decomposition:
 
     # ---- gather / scatter -------------------------------------------------
     def scatter(self, global_array: np.ndarray, rank: int) -> np.ndarray:
-        """Copy of this rank's block of a global ``(nz, ny, nx)`` or ``(ny, nx)`` array."""
+        """Copy of this rank's block of a global 3-D or ``(ny, nx)`` array."""
         ext = self.extent(rank)
         if global_array.ndim == 3:
             return np.ascontiguousarray(global_array[ext.slices3d()])

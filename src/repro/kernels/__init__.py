@@ -1,0 +1,44 @@
+"""Opt-in fused/compiled kernel tier for the stencil hot path.
+
+``kernel_tier="fused"`` routes the smoothing, advection, adaptation, and
+vertical-diagnostic operators through single fused passes (compiled C via
+ctypes, numba-JITted loops, or fused numpy over wrap-padded pooled
+buffers) that reproduce the reference tier bit for bit.  The reference
+implementations in :mod:`repro.operators` stay the oracle; every fused
+path falls back to them transparently when it cannot handle a call.
+
+See ``docs/kernels.md`` for the tier system, the atomic-stage
+decomposition, and the exactness guarantees.
+"""
+from repro.kernels.cbackend import c_available
+from repro.kernels.dispatch import (
+    BACKENDS,
+    TIERS,
+    KernelSet,
+    available_backends,
+    kernel_set,
+    resolve_backend,
+)
+from repro.kernels.numba_backend import numba_available
+from repro.kernels.plans import (
+    KernelPlan,
+    clear_plan_cache,
+    kernel_plan,
+    plan_cache_stats,
+    registered_plans,
+)
+
+__all__ = [
+    "BACKENDS",
+    "TIERS",
+    "KernelPlan",
+    "KernelSet",
+    "available_backends",
+    "c_available",
+    "clear_plan_cache",
+    "kernel_plan",
+    "kernel_set",
+    "numba_available",
+    "plan_cache_stats",
+    "registered_plans",
+]

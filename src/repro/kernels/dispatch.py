@@ -1,0 +1,402 @@
+"""Kernel-tier dispatch: resolve a backend and route operator calls.
+
+A :class:`KernelSet` is the object the tendency engine and the integrator
+consult when ``kernel_tier="fused"``.  Each operator method either handles
+the call with a fused kernel and returns the result, or returns ``None`` —
+in which case the caller runs the reference workspace path.  Fallback is
+therefore always transparent and per-operator: a missing compiler, a
+non-contiguous working array, or an unsupported decomposition never
+changes results, only speed.
+
+Backend resolution (``backend="auto"``): the compiled C backend when a
+system compiler is available, else numba (smoothing only), else the fused
+numpy passes (smoothing only).  The C backend covers all four operators;
+the equivalence tests pin each backend explicitly.
+
+Every fused call is wrapped in a ``repro.obs`` span with category
+``"kernel"`` so kernel-level timings appear next to the operator spans in
+traces.
+"""
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro import constants
+from repro.kernels import cbackend
+from repro.kernels.numba_backend import numba_available, smooth_full_numba
+from repro.kernels.plans import KernelPlan, kernel_plan
+from repro.kernels.stages import smoother_stages, smooth_field_fused_numpy
+from repro.obs.spans import span
+
+TIERS = ("reference", "fused")
+BACKENDS = ("auto", "c", "numba", "numpy")
+
+#: Operators each backend can fuse.  Everything else falls back.
+_COVERAGE = {
+    "c": ("smoothing", "advection", "adaptation", "vertical"),
+    "numba": ("smoothing",),
+    "numpy": ("smoothing",),
+}
+
+_STAGES = {
+    "advection": ("l1_zonal", "l2_meridional", "l3_vertical", "negate"),
+    "adaptation": ("pressure_gradient", "coriolis", "omega", "combine"),
+    "vertical": (
+        "flux_divergence",
+        "column_prefix",
+        "column_suffix",
+        "interface_velocities",
+        "phi_prime",
+    ),
+}
+
+_WARNED: set[str] = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key not in _WARNED:
+        _WARNED.add(key)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def available_backends() -> list[str]:
+    """Fused backends usable in this environment (ordered by preference)."""
+    out = []
+    if cbackend.c_available():
+        out.append("c")
+    if numba_available():
+        out.append("numba")
+    out.append("numpy")
+    return out
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Map a requested backend to a concrete one (may still lack coverage)."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown kernel backend {backend!r}; use {BACKENDS}")
+    if backend != "auto":
+        return backend
+    return available_backends()[0]
+
+
+def _ok(*arrays: np.ndarray) -> bool:
+    return all(
+        a.flags.c_contiguous and a.dtype == np.float64 for a in arrays
+    )
+
+
+class KernelSet:
+    """One resolved kernel tier: fused entry points with fallback.
+
+    ``exact=True`` (the default) means every fused path must be
+    bit-identical to the reference tier — which all shipped backends are;
+    the flag is threaded so the equivalence harness can state the
+    guarantee it asserts.
+    """
+
+    def __init__(
+        self, tier: str = "fused", backend: str = "auto", exact: bool = True
+    ) -> None:
+        if tier not in TIERS:
+            raise ValueError(f"unknown kernel tier {tier!r}; use {TIERS}")
+        self.tier = tier
+        self.requested_backend = backend
+        self.backend = resolve_backend(backend)
+        self.exact = exact
+        self._lib = None
+
+    # ---- backend plumbing -------------------------------------------------
+
+    def _covers(self, op: str) -> bool:
+        return op in _COVERAGE.get(self.backend, ())
+
+    def _library(self):
+        """The C library, or ``None`` (with a one-shot warning) if unbuildable."""
+        if self._lib is None:
+            try:
+                self._lib = cbackend.load_library()
+            except cbackend.KernelBuildError as exc:
+                _warn_once(
+                    "c-build",
+                    f"fused C kernels unavailable ({exc}); falling back",
+                )
+                self._lib = False
+        return self._lib or None
+
+    def _register(self, op: str, shape: tuple, stages: tuple, extra=()) -> KernelPlan:
+        return kernel_plan(
+            op,
+            self.backend,
+            shape,
+            extra,
+            lambda: KernelPlan(
+                op=op,
+                backend=self.backend,
+                shape=tuple(shape),
+                stages=stages,
+                fn=getattr(self, op if op != "smoothing" else "smooth_field"),
+            ),
+        )
+
+    # ---- smoothing --------------------------------------------------------
+
+    def smooth_field(self, sm, a: np.ndarray, out: np.ndarray, ws):
+        """Fused smoothing of one field; ``None`` if this call can't fuse."""
+        if not self._covers("smoothing") or not _ok(a, out):
+            return None
+        self._register(
+            "smoothing", a.shape, smoother_stages(sm),
+            (sm.beta_x, sm.beta_y, sm.cross),
+        )
+        if self.backend == "c":
+            lib = self._library()
+            if lib is None:
+                return None
+            scratch = ws.take(a.shape)
+            cbackend.smooth_full_c(
+                lib, a, out, scratch, sm.beta_x, sm.beta_y, sm.cross
+            )
+            ws.give(scratch)
+            return out
+        if self.backend == "numba":
+            scratch = ws.take(a.shape)
+            smooth_full_numba(a, out, scratch, sm.beta_x, sm.beta_y, sm.cross)
+            ws.give(scratch)
+            return out
+        return smooth_field_fused_numpy(sm, a, out, ws)
+
+    def smooth_state_into(self, state, params, out, ws, smoothers):
+        """Fused ``S`` over a whole state; ``None`` to fall back."""
+        if not self._covers("smoothing"):
+            return None
+        with span(f"smoothing-fused[{self.backend}]", "kernel"):
+            for name in ("U", "V", "Phi", "psa"):
+                res = self.smooth_field(
+                    smoothers[name], getattr(state, name), getattr(out, name), ws
+                )
+                if res is None:
+                    return None
+            return out
+
+    # ---- the stencil tendencies (C backend only) --------------------------
+
+    def _pf_into(self, psa: np.ndarray, pf: np.ndarray) -> np.ndarray:
+        """``P`` with the exact reference op chain (and its guard)."""
+        np.add(psa, constants.P_REFERENCE, out=pf)
+        np.subtract(pf, constants.P_TOP, out=pf)
+        if np.any(pf <= 0):
+            raise ValueError(
+                "surface pressure must exceed the model-top pressure"
+            )
+        np.divide(pf, constants.P_REFERENCE, out=pf)
+        np.sqrt(pf, out=pf)
+        return pf
+
+    def advection(self, state, vd, geom, ws, out, cache):
+        """Fused ``L``-tendency; ``None`` if this call can't fuse."""
+        if not self._covers("advection"):
+            return None
+        U, V, Phi = state.U, state.V, state.Phi
+        sdot = vd.sdot_iface
+        if not _ok(U, V, Phi, state.psa, sdot, out.U, out.V, out.Phi):
+            return None
+        lib = self._library()
+        if lib is None:
+            return None
+        kg = self._advec_kgeom(geom, cache)
+        with span(f"advection-fused[{self.backend}]", "kernel"):
+            self._register("advection", U.shape, _STAGES["advection"])
+            nz, ny, nx = U.shape
+            pf = self._pf_into(state.psa, ws.take(state.psa.shape))
+            scratch = {
+                "vel": ws.take((nz, ny, nx)),
+                "vs": ws.take((nz, ny, nx)),
+                "flux": ws.take((nz, ny, nx)),
+                "sstag": ws.take((nz + 1, ny, nx)),
+                "fbar": ws.take((nz + 1, ny, nx)),
+                "p2d": ws.take((3, ny, nx)),
+            }
+            cbackend.advection_c(
+                lib, U, V, Phi, pf, sdot, kg.advection, kg.advection_dsig,
+                geom.grid.dlambda, geom.grid.dtheta, scratch,
+                out.U, out.V, out.Phi,
+            )
+            out.psa[...] = 0.0
+            ws.give(pf, *scratch.values())
+        return out
+
+    def _advec_kgeom(self, geom, cache) -> _RowsOnly:
+        kg = getattr(cache, "_kernel_geom", None)
+        if kg is None:
+            kg = _RowsOnly()
+            kg.advection = {
+                "sin_c": _flat(cache.sin_c3), "sin_v": _flat(cache.sin_v3),
+                "pre_c": _flat(cache.pre_c3), "pre_v": _flat(cache.pre_v3),
+                "tas_c": _flat(cache.two_a_sin_c3),
+                "tas_v": _flat(cache.two_a_sin_v3),
+            }
+            kg.advection_dsig = _flat(cache.dsig3)
+            cache._kernel_geom = kg
+        return kg
+
+    def adaptation(self, state, vd, geom, params, ws, out, cache):
+        """Fused ``A-hat``-tendency; ``None`` if this call can't fuse."""
+        if not self._covers("adaptation"):
+            return None
+        U, V, Phi, psa = state.U, state.V, state.Phi, state.psa
+        phi_p = vd.phi_prime
+        w_if = vd.w_iface
+        col_sum = vd.column_sum
+        if not _ok(U, V, Phi, psa, phi_p, w_if, col_sum, out.U, out.V, out.Phi):
+            return None
+        lib = self._library()
+        if lib is None:
+            return None
+        from repro.operators.adaptation import surface_dissipation
+        from repro.operators.vertical import DEFAULT_REFERENCE
+
+        kg = self._adapt_kgeom(cache)
+        with span(f"adaptation-fused[{self.backend}]", "kernel"):
+            self._register("adaptation", U.shape, _STAGES["adaptation"])
+            pf = self._pf_into(psa, ws.take(psa.shape))
+            pes = ws.take(psa.shape)
+            np.power(pf, 2, out=pes)
+            np.multiply(pes, constants.P_REFERENCE, out=pes)
+            # The reference-temperature profile uses a non-integer power,
+            # whose numpy SIMD routine libm does not reproduce bitwise —
+            # it stays in numpy, exactly as the reference computes it.
+            t_ref_surf = DEFAULT_REFERENCE.temperature(
+                psa + constants.P_REFERENCE
+            )
+            baro = ws.take(psa.shape)
+            np.multiply(pf, constants.R_DRY, out=baro)
+            np.multiply(baro, t_ref_surf, out=baro)
+            b = constants.B_GRAVITY_WAVE
+            cbackend.adaptation_c(
+                lib, U, V, Phi, phi_p, w_if, col_sum, pf, pes, baro,
+                kg.adaptation, geom.grid.radius,
+                geom.grid.dlambda, geom.grid.dtheta,
+                b, b * (1.0 + params.delta_c),
+                out.U, out.V, out.Phi,
+            )
+            d_sa = surface_dissipation(psa, geom)
+            np.multiply(d_sa, constants.KAPPA_STAR, out=d_sa)
+            np.subtract(d_sa, col_sum, out=d_sa)
+            np.multiply(d_sa, constants.P_REFERENCE, out=d_sa)
+            np.copyto(out.psa, d_sa)
+            ws.give(pf, pes, baro)
+        return out
+
+    def _adapt_kgeom(self, cache):
+        kg = getattr(cache, "_kernel_geom", None)
+        if kg is None:
+            kg = _RowsOnly()
+            kg.adaptation = {
+                "a_sin_c": _flat(cache.a_sin_c3),
+                "cot_c": _flat(cache.cot_c3),
+                "omcos_c": _flat(cache.two_omega_cos_c3),
+                "cot_v": _flat(cache.cot_v3),
+                "omcos_v": _flat(cache.two_omega_cos_v3),
+                "sig_mid": _flat(cache.sig_mid3),
+            }
+            cache._kernel_geom = kg
+        return kg
+
+    def vertical(self, U, V, Phi, psa, geom, gather, ws, cache):
+        """Fused ``C`` diagnostics; ``None`` if this call can't fuse.
+
+        Only the serial / full-column case is fused (no z-gather, no ghost
+        levels, identity interface and level maps); everything else runs
+        the reference workspace path.
+        """
+        if not self._covers("vertical"):
+            return None
+        nz = geom.grid.nz
+        if (
+            gather is not None
+            or geom.gz != 0
+            or not cache.k_if_identity
+            or not cache.k_lev_identity
+            or U.shape[0] != nz
+        ):
+            return None
+        if not _ok(U, V, Phi, psa):
+            return None
+        lib = self._library()
+        if lib is None:
+            return None
+        from repro.operators.vertical import VerticalDiagnostics
+
+        kg = self._vert_kgeom(geom, cache)
+        with span(f"vertical-fused[{self.backend}]", "kernel"):
+            self._register("vertical", U.shape, _STAGES["vertical"])
+            ny_w, nx_w = psa.shape
+            pf = self._pf_into(psa, ws.take((ny_w, nx_w)))
+            div_p = ws.take((nz, ny_w, nx_w))
+            col_sum = ws.take((ny_w, nx_w))
+            pw = ws.take((nz + 1, ny_w, nx_w))
+            w = ws.take((nz + 1, ny_w, nx_w))
+            sdot = ws.take((nz + 1, ny_w, nx_w))
+            phi_prime = ws.take((nz, ny_w, nx_w))
+            s2d = ws.take((3, ny_w, nx_w))
+            cbackend.vertical_c(
+                lib, U, V, Phi, pf, kg.vertical,
+                geom.grid.dlambda, geom.grid.dtheta,
+                constants.B_GRAVITY_WAVE,
+                div_p, col_sum, pw, w, sdot, phi_prime, s2d,
+            )
+            ws.give(s2d)
+        return VerticalDiagnostics(
+            div_p=div_p,
+            column_sum=col_sum,
+            pw_iface=pw,
+            w_iface=w,
+            sdot_iface=sdot,
+            phi_prime=phi_prime,
+            p_fac=pf,
+        )
+
+    def _vert_kgeom(self, geom, cache):
+        kg = getattr(cache, "_kernel_geom", None)
+        if kg is None:
+            kg = _RowsOnly()
+            kg.vertical = {
+                "sin_v": _flat(geom.sin_v),
+                "a_sin_c": _flat(cache.a_sin_c3),
+                "dsig": _flat(cache.dsig_own3),
+                "ratio": _flat(cache.ratio_own3),
+                "sig_if": _flat(cache.sig_if3),
+            }
+            cache._kernel_geom = kg
+        return kg
+
+    def describe(self) -> dict:
+        """Summary for traces / bench reports."""
+        return {
+            "tier": self.tier,
+            "backend": self.backend,
+            "requested_backend": self.requested_backend,
+            "exact": self.exact,
+            "coverage": list(_COVERAGE.get(self.backend, ())),
+        }
+
+
+class _RowsOnly:
+    """Attribute bag for per-cache flat metric rows."""
+
+
+def _flat(a) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(a, dtype=np.float64).ravel())
+
+
+def kernel_set(
+    tier: str = "reference", backend: str = "auto", exact: bool = True
+) -> KernelSet | None:
+    """Build the kernel set for a tier (``None`` for the reference tier)."""
+    if tier not in TIERS:
+        raise ValueError(f"unknown kernel tier {tier!r}; use {TIERS}")
+    if tier == "reference":
+        return None
+    return KernelSet(tier=tier, backend=backend, exact=exact)

@@ -1,0 +1,95 @@
+"""Optional numba JIT of the fused smoothing pass.
+
+The loop body below mirrors the C ``smooth_full`` kernel element for
+element (same IEEE binary-operation sequence as
+:meth:`repro.operators.smoothing.FieldSmoother.full_into`), so all three
+backends are bit-identical.  When numba is importable the function is
+``njit``-compiled lazily at first use; without numba the undecorated
+pure-Python loops still run (and are exercised by the equivalence tests on
+tiny meshes), so the no-numba CI leg covers the identical code path.
+"""
+from __future__ import annotations
+
+_NUMBA_ERR: Exception | None = None
+try:  # pragma: no cover - exercised only on the numba CI leg
+    import numba as _numba
+except Exception as exc:  # numba is optional; never required
+    _numba = None
+    _NUMBA_ERR = exc
+
+
+def numba_available() -> bool:
+    """Whether the numba JIT is importable in this interpreter."""
+    return _numba is not None
+
+
+def _smooth_full_loops(a, dx, out, nl, ny, nx, cx, cy, cxy, use_y, use_cross):
+    # stage 1: dx <- delta4_x(a)
+    for line in range(nl * ny):
+        base = line * nx
+        for i in range(nx):
+            m2 = (i - 2) % nx
+            m1 = (i - 1) % nx
+            p1 = (i + 1) % nx
+            p2 = (i + 2) % nx
+            v = a[base + m2] - 4.0 * a[base + m1]
+            v = v + 6.0 * a[base + i]
+            v = v - 4.0 * a[base + p1]
+            v = v + a[base + p2]
+            dx[base + i] = v
+    # stage 2: combine with inline delta4_y of a (and of dx for the cross)
+    for lev in range(nl):
+        off = lev * ny * nx
+        for j in range(ny):
+            jm2 = (j - 2) % ny
+            jm1 = (j - 1) % ny
+            jp1 = (j + 1) % ny
+            jp2 = (j + 2) % ny
+            for i in range(nx):
+                e = off + j * nx + i
+                o = a[e] - cx * dx[e]
+                if use_y:
+                    v = a[off + jm2 * nx + i] - 4.0 * a[off + jm1 * nx + i]
+                    v = v + 6.0 * a[e]
+                    v = v - 4.0 * a[off + jp1 * nx + i]
+                    v = v + a[off + jp2 * nx + i]
+                    o = o - cy * v
+                if use_cross:
+                    v = dx[off + jm2 * nx + i] - 4.0 * dx[off + jm1 * nx + i]
+                    v = v + 6.0 * dx[e]
+                    v = v - 4.0 * dx[off + jp1 * nx + i]
+                    v = v + dx[off + jp2 * nx + i]
+                    o = o + cxy * v
+                out[e] = o
+
+
+_JITTED = None
+
+
+def smooth_full_fn():
+    """The loop kernel, njit-compiled when numba is present."""
+    global _JITTED
+    if _JITTED is None:
+        if _numba is not None:  # pragma: no cover - numba CI leg
+            _JITTED = _numba.njit(cache=True, fastmath=False)(
+                _smooth_full_loops
+            )
+        else:
+            _JITTED = _smooth_full_loops
+    return _JITTED
+
+
+def smooth_full_numba(a, out, scratch, beta_x, beta_y, cross):
+    """Fused smoothing of one field via the (optionally JITted) loops."""
+    ny, nx = a.shape[-2], a.shape[-1]
+    nl = 1
+    for n in a.shape[:-2]:
+        nl *= n
+    fn = smooth_full_fn()
+    fn(
+        a.reshape(-1), scratch.reshape(-1), out.reshape(-1),
+        nl, ny, nx,
+        beta_x / 16.0, beta_y / 16.0, beta_x * beta_y / 256.0,
+        1 if beta_y else 0, 1 if cross else 0,
+    )
+    return out

@@ -158,7 +158,9 @@ class PolarFilter:
         (U, Phi, p'_sa), ``"v"`` for V-row fields.
         """
         mask, factors = (
-            (self.mask_c, self.factors_c) if rows == "c" else (self.mask_v, self.factors_v)
+            (self.mask_c, self.factors_c)
+            if rows == "c"
+            else (self.mask_v, self.factors_v)
         )
         if not mask.any():
             return

@@ -26,7 +26,9 @@ class Footprint:
     y: tuple[int, ...]
     z: tuple[int, ...]
 
-    def within(self, x: tuple[int, ...], y: tuple[int, ...], z: tuple[int, ...]) -> bool:
+    def within(
+        self, x: tuple[int, ...], y: tuple[int, ...], z: tuple[int, ...]
+    ) -> bool:
         """Whether this footprint is contained in the declared offsets."""
         return (
             set(self.x) <= set(x) and set(self.y) <= set(y) and set(self.z) <= set(z)

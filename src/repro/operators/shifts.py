@@ -75,6 +75,24 @@ def sz(a: np.ndarray, d: int) -> np.ndarray:
     return np.roll(a, -d, axis=0)
 
 
+def _mirror_row_into(
+    dst: np.ndarray, src: np.ndarray, half: int, negate: bool
+) -> None:
+    """``dst = (+/-) roll(src, half)`` along x, without the roll temporary.
+
+    The rolled row's left half is the source's right half and vice versa,
+    so two slice copies (or :func:`np.negative` writes, an exact sign
+    flip) reproduce ``sign * np.roll(src, half, axis=-1)`` bit for bit.
+    ``dst`` and ``src`` are distinct rows, so the slices never alias.
+    """
+    if negate:
+        np.negative(src[..., half:], out=dst[..., :half])
+        np.negative(src[..., :half], out=dst[..., half:])
+    else:
+        dst[..., :half] = src[..., half:]
+        dst[..., half:] = src[..., :half]
+
+
 def fill_pole_ghosts(
     a: np.ndarray,
     gy: int,
@@ -111,17 +129,16 @@ def fill_pole_ghosts(
     if nx % 2 != 0:
         raise ValueError("pole mirror requires even nx")
     half = nx // 2
-    sign = -1.0 if vector else 1.0
     if north:
         for m in range(gy):
             # ghost row (gy-1-m) mirrors interior row (gy+m)
             src = a[..., gy + m, :]
-            a[..., gy - 1 - m, :] = sign * np.roll(src, half, axis=-1)
+            _mirror_row_into(a[..., gy - 1 - m, :], src, half, vector)
     if south:
         ny_w = a.shape[-2]
         for m in range(gy):
             src = a[..., ny_w - 1 - gy - m, :]
-            a[..., ny_w - gy + m, :] = sign * np.roll(src, half, axis=-1)
+            _mirror_row_into(a[..., ny_w - gy + m, :], src, half, vector)
 
 
 def fill_pole_ghosts_vrow(
@@ -149,14 +166,14 @@ def fill_pole_ghosts_vrow(
         a[..., pole, :] = 0.0
         for m in range(1, gy):
             src = a[..., pole + m, :]
-            a[..., pole - m, :] = -np.roll(src, half, axis=-1)
+            _mirror_row_into(a[..., pole - m, :], src, half, True)
     if south:
         ny_w = a.shape[-2]
         pole = ny_w - 1 - gy  # the theta = pi interface row (last interior)
         a[..., pole, :] = 0.0
         for m in range(1, gy + 1):
             src = a[..., pole - m, :]
-            a[..., pole + m, :] = -np.roll(src, half, axis=-1)
+            _mirror_row_into(a[..., pole + m, :], src, half, True)
 
 
 def fill_z_edge_ghosts(

@@ -103,7 +103,10 @@ def render_table(entries: tuple[StencilEntry, ...], title: str) -> str:
         return ", ".join(parts)
 
     lines = [title, "-" * len(title)]
-    lines.append(f"{'Term':<16} {'x direction':<26} {'y direction':<20} {'z direction'}")
+    lines.append(
+        f"{'Term':<16} {'x direction':<26} "
+        f"{'y direction':<20} {'z direction'}"
+    )
     for e in entries:
         lines.append(
             f"{e.term:<16} {fmt(e.x, 'i'):<26} {fmt(e.y, 'j'):<20} {fmt(e.z, 'k')}"

@@ -67,7 +67,9 @@ N_FIELDS = 4
 B = 8
 
 
-def _halo_bytes_yz(decomp: Decomposition, gy: int, gz: int, nz_l: int, ny_l: int) -> int:
+def _halo_bytes_yz(
+    decomp: Decomposition, gy: int, gz: int, nz_l: int, ny_l: int
+) -> int:
     """Bytes sent by an interior rank in one Y-Z plane halo exchange.
 
     Two y-faces (gy rows x nz_l levels), two z-faces (gz levels x ny_l
@@ -83,7 +85,9 @@ def _halo_bytes_yz(decomp: Decomposition, gy: int, gz: int, nz_l: int, ny_l: int
     return B * (3 * per_3d_field + per_2d_field)
 
 
-def _halo_bytes_xy(decomp: Decomposition, gx: int, gy: int, nx_l: int, ny_l: int) -> int:
+def _halo_bytes_xy(
+    decomp: Decomposition, gx: int, gy: int, nx_l: int, ny_l: int
+) -> int:
     """Bytes sent by an interior rank in one X-Y plane halo exchange."""
     nz = decomp.nz
     face_x = gx * ny_l * nz

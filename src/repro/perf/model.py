@@ -148,7 +148,7 @@ class PerformanceModel:
             return Decomposition(g.nx, g.ny, g.nz, px, py, pz)
         raise ValueError(f"unknown algorithm {algorithm!r}")
 
-    # ---- per-step compute -------------------------------------------------------------
+    # ---- per-step compute -------------------------------------------------
     def _block_points(self, decomp: Decomposition) -> float:
         return (
             (decomp.nx / decomp.px)
@@ -202,7 +202,9 @@ class PerformanceModel:
         return work * cal.seconds_per_point
 
     # ---- per-step stencil communication ----------------------------------------------
-    def _halo_bytes(self, decomp: Decomposition, wy: float, wz: float, wx: float) -> float:
+    def _halo_bytes(
+        self, decomp: Decomposition, wy: float, wz: float, wx: float
+    ) -> float:
         """Bytes sent per rank for one exchange with the given widths."""
         nx_l = decomp.nx / decomp.px
         ny_l = decomp.ny / decomp.py
@@ -272,7 +274,7 @@ class PerformanceModel:
         )
         return n_rounds * per_round
 
-    # ---- per-step collective communication ----------------------------------------------
+    # ---- per-step collective communication ---------------------------------
     def _collective_per_step(
         self, algorithm: str, decomp: Decomposition, nprocs: int
     ) -> float:
@@ -344,7 +346,7 @@ class PerformanceModel:
         credit = min(rounds * inner_update, 0.6 * raw)
         return (raw - credit) * self.nsteps
 
-    # ---- public API --------------------------------------------------------------------
+    # ---- public API ---------------------------------------------------------
     def timing(self, algorithm: str, nprocs: int) -> AlgorithmTiming:
         """Projected timing of ``algorithm`` on ``nprocs`` ranks."""
         decomp = self.decomposition(algorithm, nprocs)

@@ -183,6 +183,113 @@ def bench_kernels(mesh: MeshSpec, inner: int = 5) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# kernel tiers: reference vs fused serial step throughput
+# ---------------------------------------------------------------------------
+def bench_kernel_tiers(mesh: MeshSpec, repeats: int = 1) -> dict:
+    """Serial step throughput of the reference vs fused kernel tiers.
+
+    Both tiers step the workspace core from the same pinned initial
+    state; the final trajectories must be bitwise equal (recorded as
+    ``bit_identical``, gated absolutely by
+    :func:`kernel_tier_violations`).  The fused-throughput gate is armed
+    only on the medium mesh when a compiled backend (``c``/``numba``)
+    actually resolved — on hosts with neither a C compiler nor numba the
+    numpy fallback is recorded and the gate skipped, so the benchmark
+    degrades gracefully instead of failing.
+    """
+    from repro.core.integrator import SerialCore
+    from repro.kernels import kernel_set
+
+    grid = _grid(mesh)
+    s0 = _initial(grid)
+    times: dict[str, float] = {"reference": float("inf"), "fused": float("inf")}
+    finals: dict[str, object] = {}
+    # tiers are interleaved within each repeat so a load spike on a busy
+    # host degrades both measurements instead of skewing the ratio
+    for _ in range(max(repeats, 2)):
+        for tier in ("reference", "fused"):
+            core = SerialCore(grid, kernel_tier=tier)
+            w = core.pad(s0)
+            w = core.step(w)  # warmup: pool fill, plan + library build
+            t0 = time.perf_counter()
+            for _ in range(mesh.nsteps):
+                w = core.step(w)
+            dt = (time.perf_counter() - t0) / mesh.nsteps
+            times[tier] = min(times[tier], dt)
+            finals[tier] = w
+    bit_identical = all(
+        np.array_equal(
+            getattr(finals["reference"], f), getattr(finals["fused"], f)
+        )
+        for f in ("U", "V", "Phi", "psa")
+    )
+    backend = kernel_set("fused").backend
+    compiled = backend in ("c", "numba")
+    return {
+        "kind": "kernel_tiers",
+        "mesh": mesh.name,
+        "shape": [mesh.nz, mesh.ny, mesh.nx],
+        "timed_steps": mesh.nsteps,
+        "reference_ms_per_step": times["reference"] * 1e3,
+        "fused_ms_per_step": times["fused"] * 1e3,
+        "speedup": times["reference"] / times["fused"],
+        "steps_per_sec": 1.0 / times["fused"],
+        "backend": backend,
+        "compiled": compiled,
+        "bit_identical": bit_identical,
+        "gate_min_speedup": 2.0,
+        "gate_enforced": compiled and mesh.name == "medium",
+    }
+
+
+def kernel_tier_violations(
+    report: dict, baseline: dict | None = None
+) -> list[str]:
+    """Kernel-tier cases that break bit-identity or the fused-speedup gate.
+
+    Bit-identity is absolute: wherever a tier case ran, whatever the
+    backend, the fused trajectory must equal the reference bitwise.  The
+    throughput gate requires the fused tier to reach
+    ``gate_min_speedup`` times the reference serial step rate — measured
+    against the committed baseline's reference time when a baseline is
+    supplied (the acceptance form of the gate), else against the
+    same-run reference — and fires only on cases marked
+    ``gate_enforced`` (medium mesh with a compiled backend; the numpy
+    fallback is recorded but never gated).
+    """
+    base_by_key = (
+        {case_key(c): c for c in baseline["cases"]} if baseline else {}
+    )
+    violations = []
+    for case in report["cases"]:
+        if case.get("kind") != "kernel_tiers":
+            continue
+        if not case.get("bit_identical", True):
+            violations.append(
+                f"{case_key(case)}: fused[{case['backend']}] trajectory "
+                f"diverges bitwise from the reference tier"
+            )
+        if not case.get("gate_enforced"):
+            continue
+        ref_ms = case["reference_ms_per_step"]
+        ref_src = "same-run reference"
+        base = base_by_key.get(case_key(case))
+        if base is not None and "reference_ms_per_step" in base:
+            ref_ms = base["reference_ms_per_step"]
+            ref_src = "baseline reference"
+        need = case.get("gate_min_speedup", 2.0)
+        speedup = ref_ms / case["fused_ms_per_step"]
+        if speedup < need:
+            violations.append(
+                f"{case_key(case)}: fused[{case['backend']}] at "
+                f"{case['fused_ms_per_step']:.2f} ms/step is only "
+                f"x{speedup:.2f} vs the {ref_src} ({ref_ms:.2f} ms), "
+                f"below the x{need:.1f} gate"
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # distributed rank programs on the simulated cluster
 # ---------------------------------------------------------------------------
 def bench_core(mesh: MeshSpec, algorithm: str, nprocs: int, nsteps: int) -> dict:
@@ -440,6 +547,7 @@ def run_benchmarks(quick: bool = False, repeats: int = 1) -> dict:
     for mesh in meshes:
         cases.append(bench_serial(mesh, repeats=repeats))
     cases.append(bench_kernels(SMALL if quick else MEDIUM))
+    cases.append(bench_kernel_tiers(SMALL if quick else MEDIUM, repeats=repeats))
     # distributed cases: a warmup run precedes timing, and enough timed
     # steps to keep launcher scheduling jitter out of the per-step number
     dist_steps = 2 if quick else 6

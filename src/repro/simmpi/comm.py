@@ -514,7 +514,9 @@ class SubComm:
         result = self._run("allreduce", arr.copy(), arr.nbytes, combine)
         return np.array(result, copy=True)
 
-    def reduce(self, array: np.ndarray, root: int = 0, op: str = "sum") -> np.ndarray | None:
+    def reduce(
+        self, array: np.ndarray, root: int = 0, op: str = "sum"
+    ) -> np.ndarray | None:
         """Reduction to the group-local ``root``; others get ``None``."""
         arr = np.ascontiguousarray(array)
         combine = REDUCE_OPS[op]

@@ -55,7 +55,8 @@ class RankCrash(RuntimeError):
 
     def __init__(self, rank: int, detail: str = "") -> None:
         self.rank = rank
-        super().__init__(f"rank {rank} crashed (injected){': ' + detail if detail else ''}")
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"rank {rank} crashed (injected){suffix}")
 
 
 class CorruptedMessage(RuntimeError):
@@ -204,7 +205,9 @@ class FaultEvent:
     """One injected (or detected) fault occurrence on one rank."""
 
     rank: int
-    kind: str  # "crash" | "drop" | "corrupt" | "degrade" | "straggle" | "corruption-detected"
+    #: "crash" | "drop" | "corrupt" | "degrade" | "straggle" |
+    #: "corruption-detected"
+    kind: str
     t: float
     attempt: int = 1
     detail: str = ""

@@ -97,7 +97,9 @@ class MachineModel:
         """Binomial-tree reduce."""
         if q <= 1:
             return 0.0
-        return math.ceil(math.log2(q)) * (self.alpha + nbytes * (self.beta + self.gamma))
+        return math.ceil(math.log2(q)) * (
+            self.alpha + nbytes * (self.beta + self.gamma)
+        )
 
     def bcast_time(self, q: int, nbytes: int) -> float:
         """Binomial-tree broadcast."""

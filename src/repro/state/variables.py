@@ -36,7 +36,8 @@ class ModelState:
             raise ValueError("p'_sa must be 2-D (ny, nx)")
         if not (self.U.shape == self.V.shape == self.Phi.shape):
             raise ValueError(
-                f"inconsistent 3-D shapes: {self.U.shape} {self.V.shape} {self.Phi.shape}"
+                f"inconsistent 3-D shapes: "
+                f"{self.U.shape} {self.V.shape} {self.Phi.shape}"
             )
         if self.psa.shape != self.U.shape[1:]:
             raise ValueError(
@@ -75,7 +76,9 @@ class ModelState:
         return self.U.shape
 
     def copy(self) -> "ModelState":
-        return ModelState(self.U.copy(), self.V.copy(), self.Phi.copy(), self.psa.copy())
+        return ModelState(
+            self.U.copy(), self.V.copy(), self.Phi.copy(), self.psa.copy()
+        )
 
     # ---- linear-space operations -----------------------------------------
     def __add__(self, other: "ModelState") -> "ModelState":
@@ -169,7 +172,9 @@ class ModelState:
             float(np.max(np.abs(self.psa))),
         )
 
-    def allclose(self, other: "ModelState", rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+    def allclose(
+        self, other: "ModelState", rtol: float = 1e-10, atol: float = 1e-12
+    ) -> bool:
         return (
             np.allclose(self.U, other.U, rtol=rtol, atol=atol)
             and np.allclose(self.V, other.V, rtol=rtol, atol=atol)

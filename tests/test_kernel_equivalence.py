@@ -1,0 +1,243 @@
+"""Kernel-equivalence harness: the fused tier must be a bitwise no-op.
+
+Every backend of the fused kernel tier (compiled C, numba-JITted loops,
+fused numpy) reproduces the reference operators bit for bit — same IEEE
+binary-operation sequence, only the scheduling differs.  These tests pin
+that guarantee at three levels: per-operator against the reference
+workspace implementations, per-trajectory on the serial core, and
+per-trajectory across the thread and process SPMD backends.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import ModelParameters
+from repro.core.driver import DynamicalCore
+from repro.core.integrator import SerialCore
+from repro.grid.latlon import LatLonGrid
+from repro.kernels import (
+    BACKENDS,
+    TIERS,
+    available_backends,
+    c_available,
+    kernel_set,
+    numba_available,
+    plan_cache_stats,
+    registered_plans,
+    resolve_backend,
+)
+from repro.physics import balanced_random_state
+
+FIELDS = ("U", "V", "Phi", "psa")
+
+
+def _assert_states_equal(a, b, context: str) -> None:
+    for f in FIELDS:
+        fa, fb = getattr(a, f), getattr(b, f)
+        assert np.array_equal(fa, fb), (
+            f"{context}: field {f} diverges "
+            f"(max |delta| = {np.max(np.abs(fa - fb))})"
+        )
+        # array_equal treats -0.0 == 0.0; the tier contract is bitwise
+        assert np.array_equal(np.signbit(fa), np.signbit(fb)), (
+            f"{context}: field {f} differs in signed zeros"
+        )
+
+
+def _serial_trajectory(grid, s0, tier, backend="auto", nsteps=3, params=None):
+    core = SerialCore(
+        grid,
+        params=params or ModelParameters(),
+        kernel_tier=tier,
+        kernel_backend=backend,
+    )
+    w = core.pad(s0)
+    for _ in range(nsteps):
+        w = core.step(w)
+    return w  # ghost-extended working state: compared in full
+
+
+# ---------------------------------------------------------------------------
+# tier plumbing
+# ---------------------------------------------------------------------------
+def test_reference_tier_has_no_kernel_set():
+    assert kernel_set("reference") is None
+
+
+def test_unknown_tier_and_backend_rejected():
+    with pytest.raises(ValueError, match="kernel tier"):
+        kernel_set("turbo")
+    with pytest.raises(ValueError, match="kernel backend"):
+        resolve_backend("fortran")
+
+
+def test_available_backends_always_end_in_numpy():
+    backends = available_backends()
+    assert backends[-1] == "numpy"
+    assert set(backends) <= set(BACKENDS)
+    assert "auto" not in backends
+
+
+def test_resolve_auto_prefers_compiled():
+    resolved = resolve_backend("auto")
+    assert resolved == available_backends()[0]
+    if c_available():
+        assert resolved == "c"
+
+
+def test_describe_reports_coverage():
+    ks = kernel_set("fused", backend="numpy")
+    d = ks.describe()
+    assert d["tier"] == "fused"
+    assert d["backend"] == "numpy"
+    assert d["exact"] is True
+    assert d["coverage"] == ["smoothing"]
+
+
+def test_tiers_tuple_is_the_public_contract():
+    assert TIERS == ("reference", "fused")
+
+
+# ---------------------------------------------------------------------------
+# serial trajectories: fused == reference, bit for bit
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["auto", "c", "numba", "numpy"])
+def test_serial_trajectory_bit_identical(backend, small_grid, rng):
+    if backend == "c" and not c_available():
+        pytest.skip("no C compiler on this host")
+    if backend == "numba" and not numba_available():
+        # without numba the same undecorated loops run: still covered
+        pass
+    s0 = balanced_random_state(small_grid, rng)
+    ref = _serial_trajectory(small_grid, s0, "reference")
+    fused = _serial_trajectory(small_grid, s0, "fused", backend=backend)
+    _assert_states_equal(ref, fused, f"serial fused[{backend}]")
+
+
+def test_serial_trajectory_with_y_smoothing_and_cross(small_grid, rng):
+    """The beta_y / cross smoothing stages must fuse bit-exactly too."""
+    params = ModelParameters(smoothing_beta_y_uv=0.06)
+    s0 = balanced_random_state(small_grid, rng)
+    ref = _serial_trajectory(small_grid, s0, "reference", params=params)
+    fused = _serial_trajectory(small_grid, s0, "fused", params=params)
+    _assert_states_equal(ref, fused, "serial fused with beta_y")
+
+
+def test_fused_plans_registered_and_memoised(small_grid, rng):
+    s0 = balanced_random_state(small_grid, rng)
+    _serial_trajectory(small_grid, s0, "fused", nsteps=2)
+    plans = registered_plans()
+    assert plans, "fused run registered no kernel plans"
+    ops = {p.op for p in plans}
+    assert "smoothing" in ops
+    if c_available():
+        assert {"advection", "adaptation", "vertical"} <= ops
+    stats = plan_cache_stats()
+    assert stats["size"] == len(plans)
+    assert stats["hits"] > 0, "second step should hit the plan cache"
+    for plan in plans:
+        assert plan.stages, f"plan {plan.op} lists no atomic stages"
+
+
+# ---------------------------------------------------------------------------
+# SPMD trajectories: tier equivalence across execution backends
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("spmd_backend", ["thread", "process"])
+def test_distributed_trajectory_bit_identical(spmd_backend, one_iter_params):
+    grid = LatLonGrid(nx=32, ny=16, nz=6)
+    s0 = balanced_random_state(grid, np.random.default_rng(20180813))
+    finals = {}
+    for tier in ("reference", "fused"):
+        core = DynamicalCore(
+            grid,
+            algorithm="original-yz",
+            nprocs=2,
+            params=one_iter_params,
+            backend=spmd_backend,
+            kernel_tier=tier,
+        )
+        finals[tier], _ = core.run(s0, 2)
+    _assert_states_equal(
+        finals["reference"], finals["fused"], f"{spmd_backend} backend"
+    )
+
+
+def test_ca_algorithm_trajectory_bit_identical(one_iter_params):
+    grid = LatLonGrid(nx=32, ny=32, nz=6)
+    s0 = balanced_random_state(grid, np.random.default_rng(20180813))
+    finals = {}
+    for tier in ("reference", "fused"):
+        core = DynamicalCore(
+            grid,
+            algorithm="ca",
+            nprocs=2,
+            params=one_iter_params,
+            kernel_tier=tier,
+        )
+        finals[tier], _ = core.run(s0, 2)
+    _assert_states_equal(finals["reference"], finals["fused"], "ca algorithm")
+
+
+# ---------------------------------------------------------------------------
+# graceful fallback
+# ---------------------------------------------------------------------------
+def test_numpy_backend_falls_back_outside_its_coverage(small_grid, rng):
+    """numpy fuses smoothing only; the rest must hit the reference path
+    transparently — the trajectory stays bit-identical either way."""
+    ks = kernel_set("fused", backend="numpy")
+    assert ks.advection(None, None, None, None, None, None) is None
+    s0 = balanced_random_state(small_grid, rng)
+    ref = _serial_trajectory(small_grid, s0, "reference")
+    fused = _serial_trajectory(small_grid, s0, "fused", backend="numpy")
+    _assert_states_equal(ref, fused, "numpy-backend fallback")
+
+
+def test_non_contiguous_input_falls_back(small_grid, rng):
+    from repro.core.workspace import Workspace
+    from repro.operators.smoothing import smoothers_for
+
+    ks = kernel_set("fused")
+    sm = smoothers_for(ModelParameters())["U"]
+    a = np.asfortranarray(rng.normal(size=(6, 16, 32)))
+    out = np.empty_like(a)
+    assert ks.smooth_field(sm, a, out, Workspace()) is None
+
+
+def test_env_override_selects_tier(small_grid, rng, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_TIER", "fused")
+    core = DynamicalCore(grid=small_grid, algorithm="serial")
+    assert core.config.kernel_tier == "fused"
+    monkeypatch.setenv("REPRO_KERNEL_TIER", "warp")
+    with pytest.raises(ValueError, match="kernel_tier"):
+        DynamicalCore(grid=small_grid, algorithm="serial")
+
+
+# ---------------------------------------------------------------------------
+# observability: fused calls appear as kernel-category spans
+# ---------------------------------------------------------------------------
+def test_fused_runs_emit_kernel_spans(tmp_path, one_iter_params):
+    import json
+
+    from repro.obs import ObsConfig
+
+    grid = LatLonGrid(nx=32, ny=16, nz=6)
+    s0 = balanced_random_state(grid, np.random.default_rng(7))
+    trace = tmp_path / "fused_trace.json"
+    core = DynamicalCore(
+        grid,
+        algorithm="serial",
+        params=one_iter_params,
+        kernel_tier="fused",
+        observe=ObsConfig(chrome_trace=trace),
+    )
+    core.run(s0, 1)
+    events = json.loads(trace.read_text())
+    events = events["traceEvents"] if isinstance(events, dict) else events
+    kernel_spans = [
+        e for e in events
+        if isinstance(e, dict) and e.get("cat") == "kernel"
+    ]
+    assert kernel_spans, "no kernel-category spans in the fused trace"
+    names = {e["name"] for e in kernel_spans}
+    assert any(n.startswith("smoothing-fused[") for n in names), names
