@@ -123,7 +123,17 @@ def main(argv: list[str] | None = None) -> int:
                          "transport (default 0.05)")
     ap.add_argument("--check", default=None, metavar="REPORT",
                     help="compare an existing report only; run nothing")
+    ap.add_argument("--profile", default=None, metavar="OUT",
+                    help="run the sampling profiler over the benchmark "
+                         "suite; writes a collapsed-stack flamegraph file")
     args = ap.parse_args(argv)
+
+    profiler = None
+    if args.profile is not None and args.check is None:
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler(out=args.profile)
+        profiler.start()
 
     if args.check is not None:
         report = load_report(args.check)
@@ -150,6 +160,10 @@ def main(argv: list[str] | None = None) -> int:
         }
     else:
         report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    if profiler is not None:
+        profiler.stop()
+        print(f"profile: {profiler.write()} "
+              f"({profiler.nsamples} samples @ {profiler.config.hz:g} Hz)")
     if args.check is None:
         out = Path(args.out)
         if out.suffix != ".json":

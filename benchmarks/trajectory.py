@@ -19,12 +19,23 @@ starts from the gated reference point.
 
 The file is append-only and bounded: entries beyond ``--keep`` (default
 200) are dropped oldest-first.
+
+The trajectory is also *self-guarding*: each fresh entry is scored
+against the rolling median of its case history with a MAD-based robust
+z-score, on a warn-then-fail ladder — a single moderate slowdown
+(z ≤ -WARN_Z) is recorded as a warning in the entry itself; an extreme
+slowdown (z ≤ -FAIL_Z), or a moderate one in two consecutive runs,
+fails the gate (exit 1).  Median+MAD ignore the occasional noisy-runner
+outlier that would wreck a mean/stddev gate, and the ladder stops one
+cold-cache run from blocking CI while still catching real regressions
+the very next run.
 """
 from __future__ import annotations
 
 import argparse
 import datetime
 import json
+import statistics
 import sys
 from pathlib import Path
 
@@ -33,6 +44,76 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.perf.wallclock import case_key, load_report  # noqa: E402
 
 TRAJECTORY_SCHEMA = 1
+
+#: robust z-score ladder: a slowdown beyond WARN_Z is recorded as a
+#: warning; beyond FAIL_Z — or beyond WARN_Z in two consecutive runs —
+#: the gate fails.  Speedups never gate.
+WARN_Z = 3.5
+FAIL_Z = 7.0
+#: cases need this many prior observations before the gate arms
+MIN_HISTORY = 4
+#: rolling window of most-recent observations the median/MAD runs over
+DEFAULT_WINDOW = 20
+
+
+def median_mad(values: list[float]) -> tuple[float, float]:
+    """Rolling-window centre and robust spread of a case's history."""
+    med = statistics.median(values)
+    mad = statistics.median(abs(v - med) for v in values)
+    return med, mad
+
+
+def robust_z(value: float, values: list[float]) -> float:
+    """(value - median) / (1.4826 * MAD); the 1.4826 factor makes the
+    MAD consistent with a stddev under normal noise, so the z ladder
+    reads in familiar sigma units.  A flat history (MAD = 0) falls back
+    to a 1%-of-median scale so identical repeats don't divide by zero.
+    """
+    med, mad = median_mad(values)
+    scale = 1.4826 * mad
+    if scale <= 0.0:
+        scale = max(abs(med) * 0.01, 1e-12)
+    return (value - med) / scale
+
+
+def detect_anomalies(
+    prior_entries: list[dict],
+    fresh: dict,
+    window: int = DEFAULT_WINDOW,
+) -> dict[str, dict]:
+    """Score ``fresh`` against the per-case rolling history.
+
+    Returns ``{case_key: {"z", "median", "mad", "severity"}}`` for every
+    case slower than the WARN_Z rung.  The fail rung consults the
+    *previous* entry's recorded anomalies — that is the ladder: warn
+    once, fail when it repeats.
+    """
+    prev_flagged = set()
+    if prior_entries:
+        prev_flagged = set(prior_entries[-1].get("anomalies", {}))
+    out: dict[str, dict] = {}
+    for key, rec in fresh["cases"].items():
+        vals = [
+            e["cases"][key]["steps_per_sec"]
+            for e in prior_entries
+            if key in e.get("cases", {})
+        ][-window:]
+        if len(vals) < MIN_HISTORY:
+            continue
+        z = robust_z(rec["steps_per_sec"], vals)
+        if z > -WARN_Z:
+            continue
+        severity = (
+            "fail" if z <= -FAIL_Z or key in prev_flagged else "warn"
+        )
+        med, mad = median_mad(vals)
+        out[key] = {
+            "z": round(z, 2),
+            "median": round(med, 4),
+            "mad": round(mad, 4),
+            "severity": severity,
+        }
+    return out
 
 
 def condense(report: dict, source: str) -> dict:
@@ -88,13 +169,23 @@ def main(argv: list[str] | None = None) -> int:
                     help="path of the updated trajectory JSON")
     ap.add_argument("--keep", type=int, default=200,
                     help="max entries retained (oldest dropped first)")
+    ap.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                    help="rolling median/MAD window (observations)")
+    ap.add_argument("--no-gate", action="store_true",
+                    help="record anomalies but never fail the run")
     args = ap.parse_args(argv)
 
     history = load_history(
         Path(args.history) if args.history else None,
         Path(args.baseline) if args.baseline else None,
     )
-    history["entries"].append(condense(load_report(args.report), source="ci"))
+    entry = condense(load_report(args.report), source="ci")
+    anomalies = detect_anomalies(
+        history["entries"], entry, window=args.window
+    )
+    if anomalies:
+        entry["anomalies"] = anomalies
+    history["entries"].append(entry)
     history["entries"] = history["entries"][-args.keep:]
 
     out = Path(args.out)
@@ -108,7 +199,25 @@ def main(argv: list[str] | None = None) -> int:
             f"   x{rec['speedup']:.2f} [{rec['backend']}]"
             if "speedup" in rec else ""
         )
-        print(f"  {key:<40} {rec['steps_per_sec']:8.3f} steps/s{extra}")
+        flag = anomalies.get(key)
+        mark = f"   !! {flag['severity']} z={flag['z']}" if flag else ""
+        print(f"  {key:<40} {rec['steps_per_sec']:8.3f} steps/s{extra}{mark}")
+    failures = {
+        k: a for k, a in anomalies.items() if a["severity"] == "fail"
+    }
+    for key, a in sorted(anomalies.items()):
+        word = "ANOMALY" if a["severity"] == "fail" else "warning"
+        print(
+            f"{word}: {key} at z={a['z']} vs rolling median "
+            f"{a['median']} (MAD {a['mad']})",
+            file=sys.stderr,
+        )
+    if failures and not args.no_gate:
+        print(
+            f"trajectory gate FAILED for {len(failures)} case(s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

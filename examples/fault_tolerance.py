@@ -100,6 +100,7 @@ def demo_recovery(args) -> None:
 def demo_chaos(args) -> int:
     """Self-healing under drops + corruption + one crash; 0 on success."""
     from repro.obs import ObsConfig
+    from repro.obs.flightrec import FlightRecorder
 
     grid = LatLonGrid(nx=32, ny=16, nz=8)
     params = ModelParameters(
@@ -108,12 +109,18 @@ def demo_chaos(args) -> int:
     state0 = perturbed_rest_state(grid, amplitude_k=2.0)
 
     observe: ObsConfig | bool = True
+    recorder = None
     if args.trace_dir:
         trace_dir = Path(args.trace_dir)
         trace_dir.mkdir(parents=True, exist_ok=True)
         observe = ObsConfig(
             chrome_trace=str(trace_dir / "chaos_trace.json"),
             jsonl=str(trace_dir / "chaos_events.jsonl"),
+            # collapsed-stack flamegraph of the chaos run (CI artifact)
+            profile=str(trace_dir / "chaos_profile.collapsed"),
+        )
+        recorder = FlightRecorder(
+            trace_dir / "chaos_flight.json", meta={"gate": "chaos"}
         )
 
     chaos = FaultPlan(
@@ -164,6 +171,13 @@ def demo_chaos(args) -> int:
             and report.buddy_restores == 1
             and report.disk_rollbacks == 0
         )
+        if recorder is not None:
+            recorder.note(
+                "chaos-run", retransmits=int(retransmits),
+                buddy_restores=report.buddy_restores,
+                disk_rollbacks=report.disk_rollbacks, max_diff=diff,
+            )
+            recorder.dump(f"chaos gate {'PASS' if ok else 'FAIL'}")
         print("CHAOS GATE:", "PASS — healed without touching disk"
               if ok else "FAIL")
         return 0 if ok else 1

@@ -191,6 +191,8 @@ class DynamicalCore:
         #: telemetry records of the in-flight (uncommitted) run; the
         #: resilient driver commits or discards them per chunk
         self._staged_telemetry: list = []
+        #: "step" spans already folded into the step_wall_seconds histogram
+        self._steps_metered = 0
 
     # ---- observation lifecycle -----------------------------------------------
     @property
@@ -210,16 +212,24 @@ class DynamicalCore:
         """Activate this core's span tracer for the duration of one run.
 
         Reentrant: a no-op when the tracer is already active, so the
-        resilient driver's chunk runs compose with an outer scope.
+        resilient driver's chunk runs compose with an outer scope.  The
+        sampling profiler (``ObsConfig(profile=...)``), when configured,
+        runs for exactly the span of the outermost scope.
         """
         obs = self._ensure_observation()
         if obs is None or obs.tracer is None or active_tracer() is obs.tracer:
             yield obs
             return
         prev = set_active(obs.tracer)
+        prof = obs.profiler
+        own_profiler = prof is not None and not prof.running
+        if own_profiler:
+            prof.start()
         try:
             yield obs
         finally:
+            if own_profiler:
+                prof.stop()
             set_active(prev)
 
     def _commit_observation(self) -> None:
@@ -289,11 +299,33 @@ class DynamicalCore:
         if transport is _UNSET:
             transport = self.config.transport
         with self._obs_scope() as obs:
-            return self._run_once_observed(
+            out = self._run_once_observed(
                 state0, nsteps, obs,
                 faults=faults, verify_checksums=verify_checksums,
                 transport=transport, timeout=timeout, step0=step0,
             )
+            self._meter_step_walls(obs)
+            return out
+
+    def _meter_step_walls(self, obs: Observation | None) -> None:
+        """Fold new "step" span durations into the wall-clock histogram.
+
+        Each observation carries the span's trace id as an exemplar, so
+        a p99 outlier in a scrape links back to the causal trace of the
+        run (and, under serve, the job) that produced it.
+        """
+        if obs is None or obs.tracer is None or not obs.config.metrics:
+            return
+        steps = [s for s in obs.tracer.spans if s.name == "step"]
+        new = steps[self._steps_metered:]
+        if not new:
+            return
+        self._steps_metered = len(steps)
+        hist = obs.registry.histogram(
+            "step_wall_seconds", "wall-clock seconds per model step"
+        )
+        for s in new:
+            hist.observe(s.duration, trace_id=s.trace_id or None)
 
     def _run_once_observed(
         self,

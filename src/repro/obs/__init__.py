@@ -16,11 +16,18 @@ from repro.obs.spans import (
     SpanTracer,
     active_tracer,
     current_rank,
+    current_trace_context,
     disable,
     enable,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+    point,
     set_active,
     set_rank,
+    set_trace_context,
     span,
+    trace_context,
     traced,
     tracing,
 )
@@ -38,6 +45,10 @@ _LAZY = {
     "load_chrome_trace": ("repro.obs.exporters", "load_chrome_trace"),
     "write_jsonl": ("repro.obs.exporters", "write_jsonl"),
     "read_jsonl": ("repro.obs.exporters", "read_jsonl"),
+    "write_text_atomic": ("repro.obs.exporters", "write_text_atomic"),
+    "ProfileConfig": ("repro.obs.profile", "ProfileConfig"),
+    "SamplingProfiler": ("repro.obs.profile", "SamplingProfiler"),
+    "FlightRecorder": ("repro.obs.flightrec", "FlightRecorder"),
 }
 
 
@@ -64,11 +75,18 @@ __all__ = [
     "SpanTracer",
     "active_tracer",
     "current_rank",
+    "current_trace_context",
     "disable",
     "enable",
+    "format_traceparent",
+    "new_trace_id",
+    "parse_traceparent",
+    "point",
     "set_active",
     "set_rank",
+    "set_trace_context",
     "span",
+    "trace_context",
     "traced",
     "tracing",
     *_LAZY,

@@ -15,6 +15,7 @@ metric objects are get-or-create, so repeated absorption of chunked
 """
 from __future__ import annotations
 
+import math
 import threading
 
 #: default histogram bucket upper bounds (seconds-oriented)
@@ -54,9 +55,14 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram (Prometheus cumulative-``le`` semantics)."""
+    """Fixed-bucket histogram (Prometheus cumulative-``le`` semantics).
 
-    __slots__ = ("buckets", "counts", "count", "sum")
+    Each bucket (plus the +Inf overflow) keeps the most recent exemplar
+    — a ``(value, trace_id)`` pair — so a latency outlier in a scrape
+    links straight back to the causal trace that produced it.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "exemplars")
 
     def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.buckets = tuple(sorted(buckets))
@@ -65,14 +71,22 @@ class Histogram:
         self.counts = [0] * len(self.buckets)  # per-bucket (non-cumulative)
         self.count = 0
         self.sum = 0.0
+        # one slot per bucket + the +Inf overflow; latest observation wins
+        self.exemplars: list[tuple[float, str] | None] = (
+            [None] * (len(self.buckets) + 1)
+        )
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         self.count += 1
         self.sum += value
+        slot = len(self.buckets)  # +Inf overflow
         for i, ub in enumerate(self.buckets):
             if value <= ub:
                 self.counts[i] += 1
+                slot = i
                 break
+        if trace_id:
+            self.exemplars[slot] = (value, trace_id)
 
     def cumulative(self) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, +Inf excluded."""
@@ -82,16 +96,74 @@ class Histogram:
             out.append((ub, running))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (Prometheus-style).
+
+        Linear interpolation inside the bucket that holds the target
+        rank; observations past the last finite bucket clamp to its
+        upper bound.  ``nan`` when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        target = q * self.count
+        lower = 0.0
+        for ub, running in self.cumulative():
+            if running >= target:
+                bucket_n = self.counts[self.buckets.index(ub)]
+                prev = running - bucket_n
+                frac = (target - prev) / bucket_n if bucket_n else 0.0
+                return lower + (ub - lower) * frac
+            lower = ub
+        return self.buckets[-1]
+
+    def summary(self) -> dict:
+        """``{count, sum, mean, p50, p99}`` snapshot of this histogram."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.sum / self.count if self.count else math.nan,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
+
 
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample-value rendering (``NaN``/``+Inf``/``-Inf``)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:g}"
+
+
 def _format_labels(key: tuple[tuple[str, str], ...], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in key]
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in key]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _exemplar_suffix(exemplar: tuple[float, str] | None) -> str:
+    """OpenMetrics exemplar annotation for one bucket line (or '')."""
+    if exemplar is None:
+        return ""
+    value, trace_id = exemplar
+    return (
+        f' # {{trace_id="{_escape_label(trace_id)}"}} {_format_value(value)}'
+    )
 
 
 class MetricsRegistry:
@@ -159,6 +231,14 @@ class MetricsRegistry:
                             "buckets": {
                                 str(ub): c for ub, c in m.cumulative()
                             },
+                            "summary": m.summary(),
+                            "exemplars": {
+                                str(ub): {"value": ex[0], "trace_id": ex[1]}
+                                for ub, ex in zip(
+                                    (*m.buckets, "+Inf"), m.exemplars
+                                )
+                                if ex is not None
+                            },
                         }
                     )
                 else:
@@ -180,23 +260,28 @@ class MetricsRegistry:
             for key in sorted(metrics[name]):
                 m = metrics[name][key]
                 if isinstance(m, Histogram):
-                    for ub, c in m.cumulative():
+                    for i, (ub, c) in enumerate(m.cumulative()):
                         le = f'le="{ub:g}"'
                         lines.append(
                             f"{name}_bucket{_format_labels(key, le)} {c}"
+                            f"{_exemplar_suffix(m.exemplars[i])}"
                         )
                     le_inf = 'le="+Inf"'
                     lines.append(
                         f"{name}_bucket{_format_labels(key, le_inf)} "
-                        f"{m.count}"
+                        f"{m.count}{_exemplar_suffix(m.exemplars[-1])}"
                     )
-                    lines.append(f"{name}_sum{_format_labels(key)} {m.sum:g}")
+                    lines.append(
+                        f"{name}_sum{_format_labels(key)} "
+                        f"{_format_value(m.sum)}"
+                    )
                     lines.append(
                         f"{name}_count{_format_labels(key)} {m.count}"
                     )
                 else:
                     lines.append(
-                        f"{name}{_format_labels(key)} {m.value:g}"
+                        f"{name}{_format_labels(key)} "
+                        f"{_format_value(m.value)}"
                     )
         return "\n".join(lines) + ("\n" if lines else "")
 

@@ -1,10 +1,13 @@
 """``python -m repro.obs.report`` — summarise exported observations.
 
-Reads either a Chrome-trace JSON (``.json``, as written by
-``Observation.write_chrome_trace`` / ``--chrome-trace``) or a JSONL
-event log (as written by ``Observation.write_jsonl``) and prints a
-span-count/duration breakdown plus, for JSONL, the physics-telemetry
-trajectory.  Format is auto-detected from the file contents.
+Reads a Chrome-trace JSON (as written by
+``Observation.write_chrome_trace`` / ``--chrome-trace``), a JSONL event
+log (``Observation.write_jsonl``), or a flight-recorder dump
+(:mod:`repro.obs.flightrec`) and prints a span-count/duration breakdown
+— plus, for JSONL, the physics-telemetry trajectory, and for flight
+dumps, the last events before death.  Format is auto-detected from the
+file contents; ``--top N`` adds a table of the N slowest individual
+spans for quick triage without opening a trace viewer.
 """
 from __future__ import annotations
 
@@ -23,7 +26,7 @@ def _is_chrome_trace(path: Path) -> bool:
 
 
 def _detect_format(path: Path) -> str:
-    """``"chrome"`` or ``"jsonl"``, sniffed from the first record."""
+    """``"chrome"``, ``"jsonl"`` or ``"flight"``, sniffed from the file."""
     first = ""
     with path.open() as fh:
         for line in fh:
@@ -35,12 +38,44 @@ def _detect_format(path: Path) -> str:
     try:
         rec = json.loads(first)
     except json.JSONDecodeError:
-        return "chrome"  # single multi-line JSON document
+        # single multi-line JSON document: chrome trace or flight dump
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            return "chrome"
+        if isinstance(doc, dict) and "flight_schema" in doc:
+            return "flight"
+        return "chrome"
+    if isinstance(rec, dict) and "flight_schema" in rec:
+        return "flight"
     if isinstance(rec, dict) and rec.get("type") in (
         "span", "telemetry", "metric"
     ):
         return "jsonl"
     return "chrome"
+
+
+def _top_table(spans: list[dict], top: int) -> list[str]:
+    """The ``top`` slowest individual spans, one line each.
+
+    ``spans`` are dicts with name/cat/dur (seconds) plus optional
+    rank/trace_id — the summarisers normalise both chrome events and
+    JSONL records into this shape.
+    """
+    ranked = sorted(spans, key=lambda s: -s.get("dur", 0.0))[:top]
+    lines = [
+        f"  top {len(ranked)} slowest spans:",
+        f"    {'dur_ms':>10} {'name':<24} {'cat':<12} {'rank':>4}  trace_id",
+    ]
+    for s in ranked:
+        rank = s.get("rank")
+        lines.append(
+            f"    {1e3 * s.get('dur', 0.0):>10.3f} "
+            f"{s.get('name', '?'):<24} {s.get('cat', '?'):<12} "
+            f"{rank if rank is not None else '-':>4}  "
+            f"{s.get('trace_id') or '-'}"
+        )
+    return lines
 
 
 def _span_table(rows: dict[tuple[str, str], list[float]]) -> list[str]:
@@ -60,7 +95,7 @@ def _span_table(rows: dict[tuple[str, str], list[float]]) -> list[str]:
     return lines
 
 
-def report_chrome(path: Path) -> str:
+def report_chrome(path: Path, top: int = 0) -> str:
     from repro.obs.exporters import duration_events, load_chrome_trace
 
     doc = load_chrome_trace(path)
@@ -75,6 +110,18 @@ def report_chrome(path: Path) -> str:
         f"{path}: Chrome trace, {len(events)} events on {len(lanes)} lanes"
     ]
     lines.extend(_span_table(rows))
+    if top:
+        flat = [
+            {
+                "name": e.get("name", "?"),
+                "cat": e.get("cat", "?"),
+                "dur": e.get("dur", 0.0) / 1e6,
+                "rank": (e.get("args") or {}).get("rank"),
+                "trace_id": (e.get("args") or {}).get("trace_id"),
+            }
+            for e in events
+        ]
+        lines.extend(_top_table(flat, top))
     steps = sum(len(d) for (n, _), d in rows.items() if n == "step")
     if steps:
         per_step = {
@@ -88,7 +135,7 @@ def report_chrome(path: Path) -> str:
     return "\n".join(lines)
 
 
-def report_jsonl(path: Path) -> str:
+def report_jsonl(path: Path, top: int = 0) -> str:
     from repro.obs.exporters import read_jsonl
 
     records = read_jsonl(path)
@@ -106,6 +153,18 @@ def report_jsonl(path: Path) -> str:
                 s["t_end"] - s["t_start"]
             )
         lines.extend(_span_table(rows))
+        if top:
+            flat = [
+                {
+                    "name": s["name"],
+                    "cat": s.get("cat", "?"),
+                    "dur": s["t_end"] - s["t_start"],
+                    "rank": s.get("rank"),
+                    "trace_id": s.get("trace_id"),
+                }
+                for s in spans
+            ]
+            lines.extend(_top_table(flat, top))
     if telem:
         first, last = telem[0], telem[-1]
         lines.append(
@@ -120,14 +179,55 @@ def report_jsonl(path: Path) -> str:
     return "\n".join(lines)
 
 
+def report_flight(path: Path, last: int = 12) -> str:
+    """Summarise a flight-recorder dump: who died, why, doing what."""
+    from repro.obs.flightrec import load_dump
+
+    doc = load_dump(path)
+    meta = doc.get("meta") or {}
+    who = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    lines = [
+        f"{path}: flight recording — pid {doc.get('pid', '?')}"
+        + (f" ({who})" if who else ""),
+        f"  reason: {doc.get('reason', '?')}",
+    ]
+    events = doc.get("events") or []
+    lines.append(f"  {len(events)} events in ring; last {min(last, len(events))}:")
+    t_dump = doc.get("dumped_at")
+    for ev in events[-last:]:
+        age = ""
+        if t_dump is not None and "t" in ev:
+            age = f"  t-{t_dump - ev['t']:.3f}s"
+        fields = ", ".join(
+            f"{k}={v}" for k, v in ev.items() if k not in ("t", "kind")
+        )
+        lines.append(f"    {ev.get('kind', '?'):<12} {fields}{age}")
+    tail = doc.get("spans_tail") or []
+    if tail:
+        open_names = [s["name"] for s in tail[-3:]]
+        lines.append(
+            f"  last spans before death: {', '.join(open_names)}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
-        description="Summarise a Chrome-trace JSON or obs JSONL log.",
+        description=(
+            "Summarise a Chrome-trace JSON, obs JSONL log, or "
+            "flight-recorder dump."
+        ),
     )
     parser.add_argument("paths", nargs="+", help="exported files to read")
     parser.add_argument(
-        "--format", choices=("auto", "chrome", "jsonl"), default="auto"
+        "--format",
+        choices=("auto", "chrome", "jsonl", "flight"),
+        default="auto",
+    )
+    parser.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="also list the N slowest individual spans",
     )
     ns = parser.parse_args(argv)
     for raw in ns.paths:
@@ -135,7 +235,12 @@ def main(argv=None) -> int:
         if not path.exists():
             parser.error(f"{path}: no such file")
         fmt = ns.format if ns.format != "auto" else _detect_format(path)
-        print(report_chrome(path) if fmt == "chrome" else report_jsonl(path))
+        if fmt == "flight":
+            print(report_flight(path))
+        elif fmt == "chrome":
+            print(report_chrome(path, top=ns.top))
+        else:
+            print(report_jsonl(path, top=ns.top))
     return 0
 
 

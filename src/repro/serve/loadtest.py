@@ -31,6 +31,8 @@ import time
 from pathlib import Path
 
 from repro.obs.exporters import chrome_trace, write_chrome_trace
+from repro.obs.flightrec import load_dump
+from repro.obs.profile import SamplingProfiler
 from repro.serve.job import JobSpec
 from repro.serve.queue import ServerBusy
 from repro.serve.supervisor import JobServer, ServeConfig
@@ -135,6 +137,7 @@ def run_loadtest(
 
     t0 = time.monotonic()
     server = JobServer(out / "cache", config=cfg)
+    profiler = SamplingProfiler().start()
     try:
         handles = []
         sheds_seen = 0
@@ -242,6 +245,73 @@ def run_loadtest(
         check("zero_cross_job_leakage", not leaks,
               f"{len(by_phys)} physics groups, leaks={leaks}")
 
+        # ---- causal trace audit -----------------------------------------
+        # Every process-executed SPMD job must export as ONE tree: the
+        # supervisor's job span at the root, the worker's attempt span
+        # under it, and every simulated rank's spans chained below —
+        # all under the job's single trace_id.  (Thread-degraded
+        # executors skip worker tracing by design: set_active is
+        # process-global.)
+        spans = server.tracer.spans if server.tracer is not None else []
+        by_trace: dict[str, list] = {}
+        for s in spans:
+            by_trace.setdefault(s.trace_id, []).append(s)
+        if server.executor == "process" and server.tracer is not None:
+            by_id = {s.span_id: s for s in spans if s.span_id}
+
+            def root_of(s):
+                seen = set()
+                while (s.parent_id and s.parent_id in by_id
+                       and s.span_id not in seen):
+                    seen.add(s.span_id)
+                    s = by_id[s.parent_id]
+                return s
+
+            spmd_traces = [
+                t for t in by_trace.values()
+                if {x.rank for x in t if x.rank >= 0} >= {0, 1}
+            ]
+            causal = bool(spmd_traces) and all(
+                root_of(x).name.startswith("job:")
+                for t in spmd_traces for x in t if x.rank >= 0
+            )
+            check(
+                "causal_trace_spmd_ranks", causal,
+                f"{len(spmd_traces)} SPMD traces of {len(by_trace)} total",
+            )
+            dangling = [
+                s for s in spans if s.parent_id and s.parent_id not in by_id
+            ]
+            check(
+                "no_dangling_span_parents", not dangling,
+                f"{len(dangling)} orphaned of {len(spans)} spans",
+            )
+
+        # ---- post-mortem audit ------------------------------------------
+        # The wedged job was killed by the watchdog; the reap path must
+        # have left a flight-recorder dump naming the kill.
+        flight_dumps = (
+            sorted(server.flight_dir.glob("*.json"))
+            if server.flight_dir.exists() else []
+        )
+        wedge_dumps = []
+        for p in flight_dumps:
+            try:
+                doc = load_dump(p)
+            except (ValueError, json.JSONDecodeError):
+                continue
+            if "watchdog" in str(doc.get("reason", "")):
+                wedge_dumps.append(p.name)
+        check(
+            "wedge_leaves_flight_dump", len(wedge_dumps) >= 1,
+            f"{len(flight_dumps)} dumps, watchdog-kill in {wedge_dumps}",
+        )
+        # surface the dumps next to the other artifacts for CI upload
+        dump_dir = out / "flightrec"
+        dump_dir.mkdir(exist_ok=True)
+        for p in flight_dumps:
+            (dump_dir / p.name).write_bytes(p.read_bytes())
+
         lat = sorted(r.latency_s for _, r in results)
         hits = server.counter_value("serve_cache_hits_total")
         coalesced = server.counter_value("serve_coalesced_total")
@@ -289,6 +359,11 @@ def run_loadtest(
                     "serve_downgrades_total"
                 ),
             },
+            "trace": {
+                "spans": len(spans),
+                "traces": len(by_trace),
+                "flight_dumps": len(flight_dumps),
+            },
             "checks": [
                 {"name": n, "ok": ok, "detail": d} for n, ok, d in checks
             ],
@@ -300,8 +375,11 @@ def run_loadtest(
             write_chrome_trace(
                 out / "trace.json", chrome_trace(spans=server.tracer.spans)
             )
+        profiler.stop()
+        profiler.write(out / "profile.collapsed")
         return report
     finally:
+        profiler.stop()
         server.close(drain=False, timeout=10.0)
 
 

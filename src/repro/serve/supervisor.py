@@ -43,10 +43,13 @@ from collections import deque
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from contextlib import nullcontext
-
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.spans import SpanTracer
+from repro.obs.spans import (
+    SpanTracer,
+    format_traceparent,
+    new_trace_id,
+    trace_context,
+)
 from repro.serve.cache import CORRUPT, HIT, ResultCache
 from repro.serve.job import JobResult, JobSpec, backoff_delay, job_key, state_digest
 from repro.serve.queue import BoundedJobQueue, Empty, ServerBusy
@@ -154,6 +157,8 @@ class _Job:
     watchdog_kills: int = 0
     notes: list[str] = field(default_factory=list)
     followers: list["_Job"] = field(default_factory=list)
+    trace_id: str = ""   # causal tree of this job (minted at submit)
+    span_id: int = 0     # the supervisor-side job span (absorb parent)
 
 
 class _Worker:
@@ -242,6 +247,9 @@ class JobServer:
             Path(cache_dir) / "work"
         )
         self.work_root.mkdir(parents=True, exist_ok=True)
+        #: post-mortem dumps land here: worker-side SIGTERM dumps plus
+        #: the supervisor's own kill/crash records (reap paths)
+        self.flight_dir = self.work_root / "flightrec"
         self.registry = MetricsRegistry()
         self.tracer = SpanTracer() if observe else None
         self.executor = config.executor
@@ -300,7 +308,7 @@ class JobServer:
         handle = JobHandle(job_id, key, spec)
         job = _Job(
             job_id=job_id, spec=spec, key=key, handle=handle,
-            submitted_at=time.monotonic(),
+            submitted_at=time.monotonic(), trace_id=new_trace_id(),
         )
         try:
             self.queue.put_nowait(job)
@@ -431,12 +439,15 @@ class JobServer:
             job = w.mailbox.get()
             if job is None:
                 return
-            cm = (
-                self.tracer.span(f"job:{job.job_id}", "serve")
-                if self.tracer is not None else nullcontext()
-            )
-            with cm:
+            if self.tracer is None:
                 self._run_attempt(w, job)
+                continue
+            # the job span roots the job's causal tree: the worker's
+            # attempt span (shipped back and absorbed) parents under it
+            with trace_context(job.trace_id):
+                with self.tracer.span(f"job:{job.job_id}", "serve") as jspan:
+                    job.span_id = jspan.span_id
+                    self._run_attempt(w, job)
 
     def _run_attempt(self, w: _Worker, job: _Job) -> None:
         cfg = self.config
@@ -445,6 +456,14 @@ class JobServer:
             "job_id": job.job_id, "attempt": job.attempt, "key": job.key,
             "spec": asdict(job.spec),
         }
+        if self.tracer is not None:
+            # traceparent header + the shared perf_counter epoch: the
+            # worker records spans on this tracer's timeline, under the
+            # job span, and ships them back with its result
+            payload["obs"] = {
+                "traceparent": format_traceparent(job.trace_id, job.span_id),
+                "epoch": self.tracer.epoch,
+            }
         try:
             w.conn.send(("job", payload))
         except (OSError, ValueError):
@@ -465,9 +484,12 @@ class JobServer:
                 if kind in ("start", "hb") and msg[1] == job.job_id:
                     last_beat = time.monotonic()
                 elif kind == "done" and msg[1] == job.job_id:
+                    self._absorb_worker_spans(job, msg[3].pop("spans", None))
                     self._finish_success(w, job, msg[3])
                     return
                 elif kind == "fail" and msg[1] == job.job_id:
+                    if len(msg) > 6:
+                        self._absorb_worker_spans(job, msg[6])
                     self._retry_or_fail(w, job, msg[3], msg[4])
                     return
                 continue  # drain any queued messages before timing out
@@ -487,6 +509,39 @@ class JobServer:
                 self._handle_wedged(w, job, wedged)
                 return
 
+    def _absorb_worker_spans(self, job: _Job, spans) -> None:
+        """Merge the worker's shipped-back spans under the job span."""
+        if self.tracer is not None and spans:
+            self.tracer.absorb(
+                spans, trace_id=job.trace_id, parent_id=job.span_id
+            )
+
+    def _write_flight_record(
+        self, kind: str, reason: str, job: _Job, w: _Worker
+    ) -> None:
+        """Supervisor-side post-mortem record for a reaped worker.
+
+        A SIGKILL'd or hard-crashed worker cannot dump its own ring, so
+        the supervisor writes what *it* knows from the reap path — the
+        artifact exists for every killed job, not just cooperative ones.
+        """
+        from repro.obs.flightrec import FlightRecorder
+
+        try:
+            rec = FlightRecorder(
+                self.flight_dir
+                / f"{kind}-job{job.job_id}-attempt{job.attempt}.json",
+                meta={
+                    "job_id": job.job_id, "attempt": job.attempt,
+                    "worker": w.slot, "trace_id": job.trace_id,
+                    "kind": kind,
+                },
+            )
+            rec.note(kind, reason=reason, notes=list(job.notes))
+            rec.dump(reason)
+        except OSError as exc:  # observability must not fail the job path
+            logger.warning("serve: could not write flight record: %s", exc)
+
     def _death_detail(self, w: _Worker) -> str:
         code = None
         if w.proc is not None:
@@ -497,6 +552,7 @@ class JobServer:
     def _handle_crash(self, w: _Worker, job: _Job, detail: str) -> None:
         logger.warning("serve: %s", detail)
         job.notes.append(detail)
+        self._write_flight_record("worker-crash", detail, job, w)
         self._respawn(w, detail)
         self._retry_or_fail(w, job, "WorkerCrash", detail)
 
@@ -509,6 +565,9 @@ class JobServer:
         )
         logger.warning(
             "serve: watchdog killing worker %d — %s", w.slot, detail
+        )
+        self._write_flight_record(
+            "watchdog-kill", f"watchdog kill: {detail}", job, w
         )
         if w.kind == "process":
             reap_processes([w.proc], join_timeout=0.1)
@@ -621,12 +680,14 @@ class JobServer:
         else:
             self._finish_failure(job, error_type, detail)
 
-    def _record_completion(self, result: JobResult) -> None:
+    def _record_completion(
+        self, result: JobResult, trace_id: str = ""
+    ) -> None:
         self._count("serve_jobs_total", "completed jobs",
                     status=result.status)
         self.registry.histogram(
             "serve_job_latency_seconds", "submit-to-result latency"
-        ).observe(result.latency_s)
+        ).observe(result.latency_s, trace_id=trace_id or None)
         self.registry.gauge(
             "serve_job_latency_last_seconds", "per-job latency",
             job=str(result.job_id),
@@ -655,7 +716,7 @@ class JobServer:
             restarts=out["restarts"], watchdog_kills=job.watchdog_kills,
             makespan=out["makespan"], worker=w.slot, notes=list(job.notes),
         )
-        self._record_completion(result)
+        self._record_completion(result, trace_id=job.trace_id)
         job.handle._complete(result)
         for f in self._pop_inflight(job):
             fres = JobResult(
@@ -664,7 +725,7 @@ class JobServer:
                 latency_s=time.monotonic() - f.submitted_at,
                 artifact=path, state_digest=out["digest"],
             )
-            self._record_completion(fres)
+            self._record_completion(fres, trace_id=f.trace_id)
             f.handle._complete(fres)
 
     def _finish_failure(
@@ -677,7 +738,7 @@ class JobServer:
             watchdog_kills=job.watchdog_kills,
             error_type=error_type, error=detail, notes=list(job.notes),
         )
-        self._record_completion(result)
+        self._record_completion(result, trace_id=job.trace_id)
         logger.error(
             "serve: job %d failed permanently after %d attempt(s): %s: %s",
             job.job_id, job.attempt, error_type, detail,
@@ -690,7 +751,7 @@ class JobServer:
                 latency_s=time.monotonic() - f.submitted_at,
                 error_type=error_type, error=detail,
             )
-            self._record_completion(fres)
+            self._record_completion(fres, trace_id=f.trace_id)
             f.handle._complete(fres)
 
     def _complete_from_cache(self, job: _Job, path: Path) -> None:
@@ -701,5 +762,5 @@ class JobServer:
             latency_s=time.monotonic() - job.submitted_at,
             artifact=path, state_digest=state_digest(state),
         )
-        self._record_completion(result)
+        self._record_completion(result, trace_id=job.trace_id)
         job.handle._complete(result)

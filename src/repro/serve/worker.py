@@ -32,6 +32,14 @@ from repro.constants import ModelParameters
 from repro.core.driver import DynamicalCore
 from repro.core.resilience import ResilienceConfig
 from repro.grid.latlon import LatLonGrid
+from repro.obs import flightrec
+from repro.obs.spans import (
+    NULL_SPAN,
+    SpanTracer,
+    parse_traceparent,
+    set_active,
+    set_trace_context,
+)
 from repro.physics import perturbed_rest_state
 from repro.serve.job import JobPoisoned, JobSpec, state_digest
 from repro.state.io import state_npz_bytes
@@ -169,31 +177,81 @@ def worker_main(conn, worker_id: int, work_root: str | Path,
         key = payload["key"]
         spec = JobSpec(**payload["spec"])
 
+        # Join the supervisor's causal tree: a fresh tracer on its epoch
+        # (perf_counter is system-wide, so the timelines line up), with
+        # the job span as this thread's context parent.  Process workers
+        # only — ``set_active`` is process-global, so degraded
+        # thread-mode workers sharing the server process stay untraced.
+        tracer = None
+        prev_ctx = None
+        obs_info = payload.get("obs")
+        if obs_info is not None and allow_exit:
+            trace_id, parent_id = parse_traceparent(obs_info["traceparent"])
+            tracer = SpanTracer()
+            tracer.epoch = obs_info["epoch"]
+            tracer.trace_id = trace_id
+            prev_ctx = set_trace_context(trace_id, parent_id)
+            set_active(tracer)
+
         def hb(info, _job_id=job_id):
+            flightrec.note("heartbeat", job_id=_job_id, **info)
             try:
                 conn.send(("hb", _job_id, info))
             except OSError:
                 pass  # supervisor stopped listening; keep computing
 
         try:
+            flightrec.note(
+                "job-start", job_id=job_id, attempt=attempt, key=key,
+                name=spec.name,
+            )
             conn.send(("start", job_id, attempt))
             workdir = work_root / key
             workdir.mkdir(parents=True, exist_ok=True)
-            out = execute_job(
-                spec, attempt, workdir, heartbeat=hb, allow_exit=allow_exit
-            )
+            with (
+                tracer.span(f"attempt:{attempt}", "worker")
+                if tracer is not None
+                else NULL_SPAN
+            ):
+                out = execute_job(
+                    spec, attempt, workdir, heartbeat=hb,
+                    allow_exit=allow_exit,
+                )
+            if tracer is not None:
+                out["spans"] = tracer.spans
+            flightrec.note("job-done", job_id=job_id, attempt=attempt)
             conn.send(("done", job_id, attempt, out))
         except BaseException as exc:  # noqa: BLE001 - typed report to caller
+            flightrec.note(
+                "job-fail", job_id=job_id, attempt=attempt,
+                error=type(exc).__name__, detail=str(exc),
+            )
             try:
                 conn.send((
                     "fail", job_id, attempt,
                     type(exc).__name__, str(exc) or type(exc).__name__,
                     traceback.format_exc(),
+                    tracer.spans if tracer is not None else None,
                 ))
             except (OSError, ValueError):
                 return
+        finally:
+            if tracer is not None:
+                set_active(None)
+                set_trace_context(*prev_ctx)
 
 
 def worker_process_entry(conn, worker_id: int, work_root: str) -> None:
-    """Entry point of one worker *process* (fork start method)."""
+    """Entry point of one worker *process* (fork start method).
+
+    Arms the flight recorder first: recent job events ring in memory,
+    and a SIGTERM (the watchdog's kill path) dumps the ring to
+    ``<work_root>/flightrec/`` before the process dies — so every
+    wedged-and-killed job leaves a post-mortem artifact.
+    """
+    pid = os.getpid()
+    flightrec.install(
+        Path(work_root) / "flightrec" / f"worker{worker_id}-pid{pid}.json",
+        meta={"worker": worker_id, "pid": pid},
+    )
     worker_main(conn, worker_id, work_root, allow_exit=True)

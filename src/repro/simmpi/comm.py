@@ -13,7 +13,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.obs.spans import span as obs_span
+from repro.obs.spans import point as obs_point, span as obs_span
 from repro.simmpi.collectives import (
     GroupContext,
     REDUCE_OPS,
@@ -179,6 +179,10 @@ class Request:
                 detail=f"src={self._source} tag={self._tag}",
                 phase=comm._phase,
             )
+        obs_point(
+            "irecv", "comm",
+            args={"flow": f"{self._source}>{comm.rank}t{self._tag}#{msg.seq}"},
+        )
         self._payload = msg.payload
         self._done = True
         return self._payload
@@ -384,6 +388,10 @@ class SimComm:
             return  # the sender is oblivious; the receiver never sees it
         self._world.mailboxes[dest].deliver(
             Message(self.rank, dest, tag, payload, arrival, checksum, seq)
+        )
+        obs_point(
+            "isend", "comm",
+            args={"flow": f"{self.rank}>{dest}t{tag}#{seq}"},
         )
 
     def isend(self, dest: int, array: np.ndarray, tag: int = 0) -> Request:

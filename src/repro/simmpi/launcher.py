@@ -21,7 +21,15 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.obs.spans import SpanTracer, active_tracer, set_active, set_rank
+from repro.obs.spans import (
+    NULL_SPAN,
+    SpanTracer,
+    active_tracer,
+    current_trace_context,
+    set_active,
+    set_rank,
+    set_trace_context,
+)
 from repro.simmpi.comm import SimComm, SimWorld
 from repro.simmpi.faults import FaultInjector, FaultPlan
 from repro.simmpi.machine import LAPTOP_LIKE, MachineModel
@@ -216,6 +224,15 @@ def run_spmd(
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; pick from {BACKENDS}")
+    # Causal launch span: when tracing is on, every rank's spans — thread
+    # or forked process — parent under this span, so the whole SPMD run
+    # exports as one subtree of the caller's trace.
+    wall_tracer = active_tracer()
+    launch_cm = (
+        wall_tracer.span(f"spmd[{nranks}]", "spmd")
+        if wall_tracer is not None
+        else NULL_SPAN
+    )
     if backend == "process":
         if faults is not None:
             raise ValueError(
@@ -223,16 +240,24 @@ def run_spmd(
                 "drops/crashes rely on deterministic in-process delivery"
             )
         if nranks > 1:
-            return _run_spmd_process(
-                nranks, fn, args,
-                machine=machine or LAPTOP_LIKE,
-                timeout=timeout,
-                trace=trace,
-                verify_checksums=verify_checksums,
-                transport=transport,
-                shm_link_bytes=shm_link_bytes,
-                join_grace=join_grace,
-            )
+            with launch_cm as launch:
+                trace_ctx = None
+                if wall_tracer is not None:
+                    ctx_trace, _ = current_trace_context()
+                    trace_ctx = (
+                        ctx_trace or wall_tracer.trace_id, launch.span_id
+                    )
+                return _run_spmd_process(
+                    nranks, fn, args,
+                    machine=machine or LAPTOP_LIKE,
+                    timeout=timeout,
+                    trace=trace,
+                    verify_checksums=verify_checksums,
+                    transport=transport,
+                    shm_link_bytes=shm_link_bytes,
+                    join_grace=join_grace,
+                    trace_ctx=trace_ctx,
+                )
         # single rank: the serial fast path below is already process-free
     injector = faults.injector() if isinstance(faults, FaultPlan) else faults
     if injector is not None:
@@ -255,11 +280,17 @@ def run_spmd(
     failures: dict[int, str] = {}
     exceptions: dict[int, BaseException] = {}
     failures_lock = threading.Lock()
+    launch_ctx: tuple[str, int] | None = None
 
     def runner(rank: int) -> None:
-        # Label wall-clock spans with the simulated rank; restore after —
-        # the serial fast path runs in the caller's thread.
+        # Label wall-clock spans with the simulated rank and hand the
+        # launch's causal context to this (possibly fresh) thread;
+        # restore after — the serial fast path runs in the caller's
+        # thread.
         prev_rank = set_rank(rank)
+        prev_ctx = (
+            set_trace_context(*launch_ctx) if launch_ctx is not None else None
+        )
         try:
             results[rank] = fn(comms[rank], *args)
         except BaseException as exc:  # noqa: BLE001 - report everything to caller
@@ -269,38 +300,47 @@ def run_spmd(
             # fail fast: wake the surviving ranks out of blocked waits
             world.abort(f"rank {rank} failed with {type(exc).__name__}: {exc}")
         finally:
+            if prev_ctx is not None:
+                set_trace_context(*prev_ctx)
             set_rank(prev_rank)
 
-    if nranks == 1:
-        # Fast path: no threads for serial runs.
-        runner(0)
-    else:
-        threads = [
-            threading.Thread(target=runner, args=(r,), daemon=True, name=f"rank{r}")
-            for r in range(nranks)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=timeout + join_grace)
-        hung = [t.name for t in threads if t.is_alive()]
-        if hung and not failures:
-            backlog = {
-                r: world.mailboxes[r].pending_summary() for r in range(nranks)
-            }
-            detail = (
-                f"rank threads still alive: {hung}; "
-                f"per-rank mailbox backlog: {backlog}"
-            )
+    with launch_cm as launch:
+        if wall_tracer is not None:
+            ctx_trace, _ = current_trace_context()
+            launch_ctx = (ctx_trace or wall_tracer.trace_id, launch.span_id)
+        if nranks == 1:
+            # Fast path: no threads for serial runs.
+            runner(0)
+        else:
+            threads = [
+                threading.Thread(
+                    target=runner, args=(r,), daemon=True, name=f"rank{r}"
+                )
+                for r in range(nranks)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=timeout + join_grace)
+            hung = [t.name for t in threads if t.is_alive()]
+            if hung and not failures:
+                backlog = {
+                    r: world.mailboxes[r].pending_summary()
+                    for r in range(nranks)
+                }
+                detail = (
+                    f"rank threads still alive: {hung}; "
+                    f"per-rank mailbox backlog: {backlog}"
+                )
+                raise SpmdError(
+                    {-1: detail},
+                    exceptions={-1: DeadlockError(detail)},
+                    stats=[c.stats for c in comms],
+                )
+        if failures:
             raise SpmdError(
-                {-1: detail},
-                exceptions={-1: DeadlockError(detail)},
-                stats=[c.stats for c in comms],
+                failures, exceptions=exceptions, stats=[c.stats for c in comms]
             )
-    if failures:
-        raise SpmdError(
-            failures, exceptions=exceptions, stats=[c.stats for c in comms]
-        )
     return SpmdResult(
         results=results,
         stats=[c.stats for c in comms],
@@ -321,7 +361,9 @@ def _picklable(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _process_rank_main(world, rank: int, fn, args, trace: bool, ends) -> None:
+def _process_rank_main(
+    world, rank: int, fn, args, trace: bool, ends, trace_ctx=None
+) -> None:
     """Entry point of one rank process (after fork).
 
     Runs the rank program against the shared-memory world and ships a
@@ -354,6 +396,12 @@ def _process_rank_main(world, rank: int, fn, args, trace: bool, ends) -> None:
             # without re-shipping the spans the parent recorded pre-fork
             tracer = SpanTracer()
             tracer.epoch = parent_tracer.epoch
+            if trace_ctx is not None:
+                # join the launcher's causal tree: spans recorded in this
+                # process parent under the launch span and carry its
+                # trace id across the fork boundary
+                tracer.trace_id = trace_ctx[0]
+                set_trace_context(*trace_ctx)
             set_active(tracer)
         comm = SimComm(world, rank)
         if trace:
@@ -401,6 +449,7 @@ def _run_spmd_process(
     transport: TransportConfig | None,
     shm_link_bytes: int | None,
     join_grace: float,
+    trace_ctx: tuple[str, int] | None = None,
 ) -> SpmdResult:
     """One OS process per rank over shared-memory rings (fork start method).
 
@@ -433,7 +482,7 @@ def _run_spmd_process(
         for r in range(nranks):
             procs[r] = ctx.Process(
                 target=_process_rank_main,
-                args=(world, r, fn, args, trace, child_ends),
+                args=(world, r, fn, args, trace, child_ends, trace_ctx),
                 daemon=True,
                 name=f"rank{r}",
             )
@@ -493,7 +542,11 @@ def _run_spmd_process(
             if tracers is not None and rep.get("trace") is not None:
                 tracers[r] = rep["trace"]
             if tracer is not None and rep.get("spans"):
-                tracer.absorb(rep["spans"])
+                tracer.absorb(
+                    rep["spans"],
+                    trace_id=trace_ctx[0] if trace_ctx else None,
+                    parent_id=trace_ctx[1] if trace_ctx else None,
+                )
             if rep.get("ok"):
                 results[r] = rep["result"]
             else:
