@@ -29,6 +29,7 @@ from repro.perf.wallclock import (  # noqa: E402
     kernel_tier_violations,
     load_report,
     parallel_scaling_violations,
+    recovery_mttr_violations,
     run_benchmarks,
     transport_overhead_violations,
     write_report,
@@ -71,6 +72,26 @@ def _render(report: dict) -> str:
                 f"wall {case['wall_overhead_frac'] * 100.0:+.1f}% "
                 f"(informational)"
             )
+            continue
+        if case["kind"] == "recovery_mttr":
+            lines.append(
+                f"  recovery mttr [{case['mesh']:<6}] "
+                f"{case['algorithm']}@{case['nprocs']}, "
+                f"clean makespan {case['clean_makespan']:.4f} s"
+            )
+            for policy, rec in case["policies"].items():
+                anomaly = (
+                    "bit-identical" if rec["trajectory_max_diff"] == 0.0
+                    else f"ANOMALY {rec['trajectory_max_diff']:.3e}"
+                )
+                lines.append(
+                    f"    {policy:<7} mttr {rec['mttr'] * 1e3:8.3f} ms "
+                    f"(detect {rec['detect_s'] * 1e3:.3f} + migrate "
+                    f"{rec['migrate_s'] * 1e3:.3f})   "
+                    f"overhead {rec['recovery_frac'] * 100.0:.1f}%   "
+                    f"-> {rec['final_nranks']} ranks via {rec['source']} "
+                    f"({anomaly})"
+                )
             continue
         if case["kind"] == "parallel_scaling":
             tag = f"scaling {case['algorithm']}@{case['nprocs']}"
@@ -121,6 +142,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--transport-limit", type=float, default=0.05,
                     help="max fault-free logical overhead of the reliable "
                          "transport (default 0.05)")
+    ap.add_argument("--recovery-limit", type=float, default=0.5,
+                    help="max rank-loss recovery time as a fraction of the "
+                         "fault-free makespan (default 0.5)")
     ap.add_argument("--check", default=None, metavar="REPORT",
                     help="compare an existing report only; run nothing")
     ap.add_argument("--profile", default=None, metavar="OUT",
@@ -202,6 +226,17 @@ def main(argv: list[str] | None = None) -> int:
     if violations:
         print("\nTRANSPORT OVERHEAD over limit:")
         for v in violations:
+            print(f"  {v}")
+        return 1
+
+    # absolute gates on the elastic tier: rank-loss recovery must stay
+    # within --recovery-limit of the fault-free makespan, and the
+    # recovered trajectory must be bit-identical to the fault-free
+    # reference at the recovered layout (zero-tolerance anomaly gate)
+    recovery = recovery_mttr_violations(report, limit=args.recovery_limit)
+    if recovery:
+        print("\nRECOVERY MTTR gate failures:")
+        for v in recovery:
             print(f"  {v}")
         return 1
 

@@ -21,10 +21,19 @@ process exits nonzero if any disk rollback happened or the result
 diverged, which makes it a CI gate; with ``--trace-dir`` the
 observability trace and event log are written there as artifacts.
 
+Rank-loss mode (``--rankloss``): the elastic-recovery gate.  A node
+loss permanently removes rank 1 of 4 mid-run — on the process backend
+this is a real SIGKILL of the rank's OS process — and the run must
+complete on the shrunken 3-rank layout, bit-identical to a fault-free
+run re-decomposed at the same chunk boundary, with zero leaked shared
+memory segments and a flight-recorder dump naming the lost rank.  Exits
+nonzero on any miss, which makes it the CI permanent-loss gate.
+
 Usage::
 
     python examples/fault_tolerance.py [--steps 4] [--nprocs 4]
     python examples/fault_tolerance.py --chaos --trace-dir chaos-artifacts/
+    python examples/fault_tolerance.py --rankloss --backend process
 """
 import argparse
 import sys
@@ -183,6 +192,91 @@ def demo_chaos(args) -> int:
         return 0 if ok else 1
 
 
+def demo_rankloss(args) -> int:
+    """Permanent 1-of-4 loss healed by the elastic tier; 0 on success."""
+    from repro.obs import flightrec
+    from repro.obs.flightrec import load_dump
+    from repro.simmpi import NodeLoss
+    from repro.simmpi.shm import live_segment_names
+
+    grid = LatLonGrid(nx=32, ny=16, nz=8)
+    params = ModelParameters(
+        dt_adaptation=60.0, dt_advection=60.0, m_iterations=1
+    )
+    state0 = perturbed_rest_state(grid, amplitude_k=2.0)
+    plan = FaultPlan(seed=7, node_losses=(NodeLoss(rank=1, at_call=30),))
+    chunk = 2
+
+    print(f"== Rank loss: rank 1 of {args.nprocs} permanently lost mid-run "
+          f"({args.backend} backend), policy=shrink ==")
+    with tempfile.TemporaryDirectory() as droot:
+        flight_dir = Path(droot) / "flight"
+        prev = flightrec.get_recorder()
+        flightrec.install(
+            flight_dir / "run.json", signals=False, logs=False,
+        )
+        try:
+            core = DynamicalCore(
+                grid, algorithm="original-yz", nprocs=args.nprocs,
+                params=params, backend=args.backend,
+            )
+            rec, _, report = core.run_resilient(
+                state0, args.steps,
+                ResilienceConfig(
+                    checkpoint_dir=Path(droot) / "ck",
+                    checkpoint_interval=chunk,
+                    rank_loss_policy="shrink", faults=plan,
+                ),
+            )
+        finally:
+            flightrec._installed = prev
+        print(report.describe())
+        rl = report.rank_losses[0]
+        print(f"  lost {rl.lost} at step {rl.step}: policy {rl.policy}, "
+              f"epoch {rl.epoch}, restored via {rl.source}, "
+              f"mttr {rl.mttr:.3e} s, now {rl.new_size} ranks")
+
+        # reference: fault-free 4-rank run to the loss boundary, then a
+        # fault-free run at the recovered layout — same chunking
+        transport = ResilienceConfig(checkpoint_dir="/unused").transport
+        ref, step = state0, 0
+        for nprocs, until in ((args.nprocs, rl.step),
+                              (report.final_nranks, args.steps)):
+            seg = DynamicalCore(
+                grid, algorithm="original-yz", nprocs=nprocs, params=params
+            )
+            while step < until:
+                c = min(chunk, args.steps - step)
+                ref, _, _ = seg._run_once(
+                    ref, c, faults=None, verify_checksums=True,
+                    transport=transport, timeout=None, step0=step,
+                )
+                step += c
+        diff = rec.max_difference(ref)
+
+        leaked = live_segment_names()
+        dumps = sorted(flight_dir.glob("*lostrank*"))
+        dump_ok = args.backend != "process" or (
+            bool(dumps) and "rank 1" in load_dump(dumps[0])["reason"]
+        )
+        print(f"max |recovered - fault-free@new-layout| = {diff:.3e}  "
+              f"({'bit-identical' if diff == 0.0 else 'DIVERGED'})")
+        print(f"leaked shm segments:            {leaked or 'none'}")
+        if args.backend == "process":
+            print(f"flight dump from killed rank:   "
+                  f"{dumps[0].name if dumps else 'MISSING'}")
+        ok = (
+            diff == 0.0
+            and report.final_nranks == args.nprocs - 1
+            and report.membership_epoch == 1
+            and not leaked
+            and dump_ok
+        )
+        print("RANK-LOSS GATE:", "PASS — healed on the shrunken layout"
+              if ok else "FAIL")
+        return 0 if ok else 1
+
+
 def demo_perturbed_schedule(args) -> None:
     from repro.core.comm_avoiding import ca_rank_program
     from repro.core.distributed import DistributedConfig
@@ -236,18 +330,26 @@ def main() -> None:
     parser.add_argument("--chaos", action="store_true",
                         help="run only the chaos gate: drops + corruption "
                              "+ one crash must heal with zero disk rollbacks")
+    parser.add_argument("--rankloss", action="store_true",
+                        help="run only the rank-loss gate: a permanent "
+                             "1-of-4 loss must heal elastically (shrink), "
+                             "bit-identical, no shm leaks")
     parser.add_argument("--trace-dir", default=None,
                         help="with --chaos: write obs trace artifacts here")
     parser.add_argument("--backend", choices=("thread", "process"),
                         default="thread",
-                        help="rank backend for fault-FREE runs; injected "
-                             "faults always use the thread backend")
+                        help="rank backend for fault-FREE runs and for "
+                             "node-loss-only plans (a node loss SIGKILLs "
+                             "the process rank); other injected faults "
+                             "always use the thread backend")
     args = parser.parse_args()
     if args.quick:
         args.steps = 3
         args.nprocs = 4
     if args.chaos:
         sys.exit(demo_chaos(args))
+    if args.rankloss:
+        sys.exit(demo_rankloss(args))
     demo_recovery(args)
     demo_perturbed_schedule(args)
 

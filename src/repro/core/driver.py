@@ -399,8 +399,16 @@ class DynamicalCore:
                 else default_spmd_timeout(nsteps)
             )
         # fault-injected attempts need the thread backend's deterministic
-        # in-process delivery; clean runs honour the configured backend
-        backend = cfg.backend if faults is None else "thread"
+        # in-process delivery; clean runs honour the configured backend.
+        # Node-loss-only plans are the exception: the process backend
+        # supports them natively (the victim's OS process is killed), and
+        # the elastic-recovery tests exercise exactly that path.
+        plan = getattr(faults, "plan", faults)
+        backend = (
+            cfg.backend
+            if faults is None or getattr(plan, "node_loss_only", False)
+            else "thread"
+        )
         result = run_spmd(
             decomp.nranks,
             program,

@@ -12,10 +12,20 @@ expensive global recoveries run only when the cheap local ones fail:
    is mirrored in memory on a buddy rank at every chunk boundary, so a
    rank crash (or any other chunk failure) rewinds *disklessly* by
    reassembling the boundary state from surviving copies;
-3. **disk rollback** — the seed behavior, now the escalation path: when
+3. **elastic rank-loss recovery** (``rank_loss_policy``, default off) —
+   when the failure detector (:mod:`repro.simmpi.membership`) declares a
+   loss *permanent* (node death, killed OS process, flapping crasher),
+   the run does not retry at the old membership: the boundary state is
+   restored buddy-first, the communicator is rebuilt — a hot **spare**
+   adopts the lost rank id, or the world **shrinks** to the survivors
+   and the grid is re-decomposed — and blocks migrate live to their new
+   owners (:mod:`repro.core.migrate`) before the chunk re-runs;
+4. **disk rollback** — the seed behavior, now the escalation path: when
    the buddy snapshot cannot serve (double fault: a block's owner and
-   its buddy both lost), the last ``ckpt_XXXXXXXX.npz`` is reloaded;
-4. **abort** — ``max_restarts`` recoveries of any kind exhaust into
+   its buddy both lost), the last ``ckpt_XXXXXXXX.npz`` is reloaded —
+   elastic recoveries escalate here too, feeding the migration from a
+   rank-0 scatter of the reloaded checkpoint;
+5. **abort** — ``max_restarts`` recoveries of any kind exhaust into
    :class:`ResilienceExhausted`.
 
 The recovery loop divides the run into chunks of ``checkpoint_interval``
@@ -48,9 +58,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.core.buddy import BuddyLost, BuddyStore
+from repro.core.buddy import BuddyLost, BuddyStore, buddy_of
 from repro.core.driver import StepDiagnostics
+from repro.core.migrate import migrate_state
+from repro.grid.decomposition import redecompose
 from repro.grid.sigma import SigmaLevels
+from repro.obs import flightrec
 from repro.obs.spans import span
 from repro.obs.telemetry import TelemetryRecord, record_for_state
 from repro.simmpi.faults import (
@@ -60,6 +73,13 @@ from repro.simmpi.faults import (
     RankCrash,
 )
 from repro.simmpi.launcher import SpmdError
+from repro.simmpi.membership import (
+    FailureDetector,
+    MembershipConfig,
+    MembershipView,
+    RankLossUnrecoverable,
+    evidence_from_failure,
+)
 from repro.simmpi.network import DeadlockError, MessageLost
 from repro.simmpi.transport import TransportConfig
 from repro.state.io import (
@@ -145,6 +165,23 @@ class ResilienceConfig:
         *committed* chunk (``step`` is the new committed step count).
         The job runner of :mod:`repro.serve` uses it as a per-job
         progress heartbeat; exceptions propagate (they abort the run).
+    rank_loss_policy:
+        What a *permanent* rank loss (node death, killed OS process, or
+        a flapping rank escalated by the failure detector) recovers to:
+        ``"abort"`` (default — the loss is fatal), ``"spare"`` (a rank
+        from the hot-spare pool adopts the lost rank id; falls back to
+        shrink when the pool is dry), or ``"shrink"`` (the communicator
+        is rebuilt over the survivors and the grid re-decomposed onto
+        them).  Either elastic tier sits between the buddy restore and
+        the disk rollback: the chunk-boundary state is recovered
+        buddy-first (disk on a double fault), then the membership is
+        rebuilt and blocks migrate live to their new owners.
+    spare_ranks:
+        Size of the pre-forked hot-spare pool the ``"spare"`` policy
+        draws from.
+    membership:
+        Failure-detector knobs (:class:`~repro.simmpi.membership.
+        MembershipConfig`); ``None`` uses the stock configuration.
     """
 
     checkpoint_dir: str | Path
@@ -164,10 +201,20 @@ class ResilienceConfig:
     spmd_timeout: float | None = None
     resume: bool = False
     on_chunk: "Callable[[int, int], None] | None" = None
+    rank_loss_policy: str = "abort"
+    spare_ranks: int = 0
+    membership: MembershipConfig | None = None
 
     def __post_init__(self) -> None:
         if self.checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
+        if self.rank_loss_policy not in ("abort", "spare", "shrink"):
+            raise ValueError(
+                f"rank_loss_policy must be 'abort', 'spare' or 'shrink', "
+                f"got {self.rank_loss_policy!r}"
+            )
+        if self.spare_ranks < 0:
+            raise ValueError("spare_ranks must be >= 0")
         if self.blowup_policy not in ("abort", "rollback"):
             raise ValueError(
                 f"blowup_policy must be 'abort' or 'rollback', "
@@ -184,10 +231,26 @@ class RestartRecord:
     """One recovery event of the resilient driver."""
 
     step: int          # model step the run was rewound to
-    kind: str          # "crash" | "corruption" | "loss" | "deadlock" | "blowup" | "sdc"
+    kind: str          # "crash" | "corruption" | "loss" | "deadlock" | "blowup" | "sdc" | "rank-loss"
     attempt: int       # retry count for the failing chunk (1-based)
     detail: str = ""
     source: str = "disk"   # where the rewound state came from: "buddy" | "disk"
+
+
+@dataclass(frozen=True)
+class RankLossRecord:
+    """One elastic recovery from a permanent rank loss."""
+
+    step: int                 # chunk boundary the run was rewound to
+    lost: tuple[int, ...]     # rank ids declared permanently lost
+    policy: str               # rebuild kind that ran: "spare" | "shrink"
+    epoch: int                # membership epoch after the rebuild
+    source: str               # boundary state source: "buddy" | "disk"
+    mttr: float               # logical seconds: detect + consensus + migrate
+    new_size: int             # communicator size after the rebuild
+    #: MTTR decomposition: suspicion-to-consensus, block migration
+    detect_s: float = 0.0
+    migrate_s: float = 0.0
 
 
 @dataclass
@@ -203,6 +266,17 @@ class ResilienceReport:
     disk_rollbacks: int = 0
     #: logical seconds charged to the makespan by retry backoff
     backoff_time: float = 0.0
+    #: elastic recoveries from permanent rank losses
+    rank_losses: list[RankLossRecord] = field(default_factory=list)
+    #: logical seconds charged to the makespan by rank-loss recovery
+    #: (failure detection + survivor consensus + block migration)
+    recovery_time: float = 0.0
+    spare_adoptions: int = 0
+    shrinks: int = 0
+    #: membership epoch at the end of the run (0: original membership)
+    membership_epoch: int = 0
+    #: communicator size at the end of the run
+    final_nranks: int = 0
 
     @property
     def nrestarts(self) -> int:
@@ -220,6 +294,19 @@ class ResilienceReport:
                 f"  rewound to step {r.step} from {r.source} ({r.kind}, "
                 f"attempt {r.attempt}): {r.detail}"
             )
+        if self.rank_losses:
+            lines.append(
+                f"rank losses recovered: {len(self.rank_losses)} "
+                f"({self.spare_adoptions} spare, {self.shrinks} shrink), "
+                f"epoch {self.membership_epoch}, "
+                f"MTTR total {self.recovery_time:.3g} s logical"
+            )
+            for rl in self.rank_losses:
+                lines.append(
+                    f"  epoch {rl.epoch}: lost {list(rl.lost)} at step "
+                    f"{rl.step} -> {rl.policy} ({rl.source} restore, "
+                    f"{rl.new_size} rank(s), MTTR {rl.mttr:.3g} s)"
+                )
         if self.fault_events:
             lines.append(f"fault events observed: {len(self.fault_events)}")
         return "\n".join(lines)
@@ -309,6 +396,19 @@ def run_resilient(
     buddy: BuddyStore | None = None
     if rcfg.buddy_checkpoints and decomp.nranks >= 2:
         buddy = BuddyStore(decomp)
+
+    # Elastic membership: armed only when a non-abort policy asks for it.
+    detector: FailureDetector | None = None
+    view: MembershipView | None = None
+    if rcfg.rank_loss_policy != "abort" and decomp.nranks >= 2:
+        detector = FailureDetector(
+            decomp.nranks,
+            rcfg.membership if rcfg.membership is not None
+            else MembershipConfig(),
+            core.config.machine,
+        )
+        view = MembershipView(decomp.nranks, spares=rcfg.spare_ranks)
+
     sdc_armed = (
         rcfg.sdc_mass_tol is not None or rcfg.sdc_energy_tol is not None
     )
@@ -442,6 +542,159 @@ def run_resilient(
             buddy.store(step, restored)
         return restored
 
+    def _recover_rank_loss(decision, exc: BaseException) -> ModelState:
+        """The elastic tier: restore, rebuild the membership, migrate.
+
+        Runs between the buddy restore and the disk rollback of the
+        ladder: the chunk-boundary state is recovered buddy-first (disk
+        when the owner AND its buddy are both among the lost — the
+        double fault), the communicator is rebuilt per the policy, and
+        every block migrates live to its owner under the new layout.
+        """
+        nonlocal restarts_left, chunk_attempt, decomp, buddy
+        core._discard_observation()
+        lost = decision.lost
+        old_n = decomp.nranks
+        if restarts_left <= 0:
+            raise ResilienceExhausted(
+                f"gave up at step {step} after {rcfg.max_restarts} "
+                f"restarts (last failure: rank-loss: ranks {list(lost)} "
+                f"permanently lost)"
+            )
+        restarts_left -= 1
+        chunk_attempt += 1
+        logger.warning(
+            "permanent loss of rank(s) %s at step %d (epoch %d, policy "
+            "%s) — rebuilding", list(lost), step, decision.epoch,
+            rcfg.rank_loss_policy,
+        )
+
+        # 1. Recover the chunk-boundary state: buddy mirrors first, the
+        # disk checkpoint when the loss took a block AND its mirror.
+        restored: ModelState | None = None
+        source = "disk"
+        if buddy is not None:
+            buddy.drop_ranks(lost)
+            try:
+                with span("buddy-restore", "resilience"):
+                    restored = buddy.restore(step)
+                source = "buddy"
+                report.buddy_restores += 1
+            except BuddyLost as why:
+                logger.warning(
+                    "double fault at step %d (%s) — escalating to disk "
+                    "rollback", step, why,
+                )
+        if restored is None:
+            with span("rollback", "resilience"):
+                found = latest_verified_checkpoint(ckdir)
+                if found is None:
+                    raise ResilienceExhausted(
+                        f"no checkpoint to roll back to in {ckdir}"
+                    )
+                restored, saved_step = load_state(found[0])
+            if saved_step != step:
+                raise ResilienceExhausted(
+                    f"latest checkpoint is for step {saved_step}, "
+                    f"expected step {step} — checkpoint directory "
+                    f"corrupted?"
+                )
+            report.disk_rollbacks += 1
+
+        # 2. Rebuild the communicator: spare adoption or survivor shrink.
+        with span("membership-rebuild", "resilience",
+                  args={"lost": list(lost), "policy": rcfg.rank_loss_policy}):
+            try:
+                plan = view.rebuild(lost, rcfg.rank_loss_policy)
+            except RankLossUnrecoverable as why:
+                raise ResilienceExhausted(str(why)) from why
+        if injector is not None:
+            # The victims fired their one-shot node-loss specs in their
+            # own (possibly forked) injector copies; mark them consumed
+            # here so the retry does not lose the same node twice.
+            injector.consume_node_losses(lost)
+        if plan.kind == "spare":
+            new_decomp = decomp  # layout unchanged; spares adopt rank ids
+        else:
+            try:
+                new_decomp = redecompose(decomp, plan.new_size)
+            except ValueError as why:
+                raise ResilienceExhausted(
+                    f"cannot re-decompose {decomp.kind} layout onto "
+                    f"{plan.new_size} rank(s): {why}"
+                ) from why
+
+        # 3. Migrate blocks from wherever their bytes live (survivors,
+        # buddy-mirror hosts, or rank 0 after a disk rollback) to their
+        # owners under the new layout, over the simulated transport.
+        if source == "disk":
+            carrier_of = {o: 0 for o in range(old_n)}
+        else:
+            carrier_of = {}
+            for o in range(old_n):
+                host = buddy_of(o, old_n) if o in lost else o
+                carrier_of[o] = plan.rank_map.get(host, host)
+        with span("block-migrate", "resilience",
+                  args={"kind": plan.kind, "new_size": plan.new_size}):
+            migrated, mig = migrate_state(
+                restored, decomp, new_decomp, carrier_of,
+                machine=core.config.machine,
+                timeout=rcfg.spmd_timeout
+                if rcfg.spmd_timeout is not None else 60.0,
+            )
+        if migrated.max_difference(restored) != 0.0:
+            raise ResilienceExhausted(
+                f"block migration corrupted the state at step {step} "
+                f"(max diff {migrated.max_difference(restored):.3e})"
+            )
+
+        # 4. Adopt the new layout everywhere the run references it.
+        decomp = new_decomp
+        core.config.decomp = new_decomp
+        core.config.nprocs = new_decomp.nranks
+        if rcfg.buddy_checkpoints and new_decomp.nranks >= 2:
+            buddy = BuddyStore(new_decomp)
+            buddy.store(step, migrated)
+        else:
+            buddy = None
+
+        mttr = decision.overhead + mig.makespan
+        report.recovery_time += mttr
+        report.rank_losses.append(RankLossRecord(
+            step=step, lost=lost, policy=plan.kind, epoch=view.epoch,
+            source=source, mttr=mttr, new_size=plan.new_size,
+            detect_s=decision.overhead, migrate_s=mig.makespan,
+        ))
+        if plan.kind == "spare":
+            report.spare_adoptions += 1
+        else:
+            report.shrinks += 1
+        report.restarts.append(RestartRecord(
+            step=step, kind="rank-loss", attempt=chunk_attempt - 1,
+            detail=f"{plan.describe()}; {mig.describe()}", source=source,
+        ))
+        _metric("resilience_rank_losses_total",
+                "permanent rank losses recovered", policy=plan.kind)
+        obs = core.observation
+        if obs is not None and obs.config.metrics:
+            obs.registry.gauge(
+                "membership_epoch", "current membership epoch"
+            ).set(view.epoch)
+            obs.registry.histogram(
+                "recovery_mttr_seconds",
+                "logical detect+consensus+migrate time per rank loss",
+            ).observe(mttr)
+        flightrec.note(
+            "rank-loss-recovered", lost=list(lost), policy=plan.kind,
+            epoch=view.epoch, step=step, source=source, mttr=mttr,
+            new_size=plan.new_size,
+        )
+        logger.info(
+            "epoch %d: %s; %s; MTTR %.3g s logical",
+            view.epoch, plan.describe(), mig.describe(), mttr,
+        )
+        return migrated
+
     # Activate the core's span tracer for the whole resilient run, so the
     # chunk/rollback spans below land in the same trace as the per-step
     # spans; the per-chunk _run_once scope no-ops inside this one.
@@ -461,12 +714,35 @@ def run_resilient(
                     )
             except _RETRYABLE as exc:
                 kind = classify_failure(exc)
-                if kind is None:
-                    raise
                 if isinstance(exc, SpmdError) and exc.stats:
                     report.fault_events.extend(
                         e for s in exc.stats for e in s.fault_events
                     )
+                evidence = evidence_from_failure(exc)
+                if detector is not None and evidence:
+                    # Survivor-side detection round: every failure with
+                    # rank evidence feeds the detector; only a permanent
+                    # verdict (node loss, process death, flapping
+                    # escalation) takes the elastic path — transient
+                    # crashes fall through to the ordinary rewind.
+                    with span("failure-detect", "resilience",
+                              args={"evidence": [
+                                  (e.rank, e.kind) for e in evidence]}):
+                        decision = detector.decide(evidence)
+                    if decision.permanent:
+                        state = _recover_rank_loss(decision, exc)
+                        continue
+                elif any(e.directly_permanent for e in evidence):
+                    perm = sorted(
+                        {e.rank for e in evidence if e.directly_permanent}
+                    )
+                    raise ResilienceExhausted(
+                        f"rank(s) {perm} permanently lost at step {step} "
+                        f"and rank_loss_policy is 'abort' — set it to "
+                        f"'spare' or 'shrink' to recover elastically"
+                    ) from exc
+                if kind is None:
+                    raise
                 if kind == "blowup" and rcfg.blowup_policy == "abort":
                     raise BlowupError(
                         f"model blew up in chunk starting at step {step}: "
@@ -525,7 +801,9 @@ def run_resilient(
             if rcfg.on_chunk is not None:
                 rcfg.on_chunk(step, nsteps)
 
-    diag.makespan += report.backoff_time
+    diag.makespan += report.backoff_time + report.recovery_time
+    report.membership_epoch = view.epoch if view is not None else 0
+    report.final_nranks = decomp.nranks
     obs = getattr(core, "_observation", None)
     if obs is not None:
         obs.finalize_outputs()

@@ -510,6 +510,130 @@ def transport_overhead_violations(report: dict, limit: float = 0.05) -> list[str
 
 
 # ---------------------------------------------------------------------------
+# elastic rank-loss recovery MTTR
+# ---------------------------------------------------------------------------
+def bench_recovery_mttr(mesh: MeshSpec, nsteps: int) -> dict:
+    """MTTR of one permanent rank loss under each elastic policy.
+
+    Runs a 4-rank resilient integration that loses rank 1 mid-run, once
+    per policy (``spare``, ``shrink``), and decomposes the logical MTTR
+    into detection+consensus and block-migration time.  Two gates ride
+    on this case (:func:`recovery_mttr_violations`):
+
+    * **overhead** — the total recovery time must stay within a bounded
+      fraction of the fault-free resilient run's makespan (all logical
+      clocks, hence deterministic and safe to gate absolutely);
+    * **trajectory anomaly** — the recovered final state must be
+      bit-identical to the fault-free chunked trajectory at the
+      recovered layout resumed from the same chunk boundary (zero
+      tolerance: any drift is an anomaly, not noise).
+    """
+    import tempfile
+
+    from repro.core.driver import DynamicalCore
+    from repro.core.resilience import ResilienceConfig, run_resilient
+    from repro.simmpi import FaultPlan, NodeLoss
+
+    grid = _grid(mesh)
+    s0 = _initial(grid)
+    nprocs, chunk = 4, 2
+
+    def resilient(policy, faults, workdir):
+        core = DynamicalCore(grid, algorithm="original-yz", nprocs=nprocs)
+        rcfg = ResilienceConfig(
+            checkpoint_dir=workdir, checkpoint_interval=chunk,
+            max_restarts=4, rank_loss_policy=policy, spare_ranks=1,
+            faults=faults,
+        )
+        return core, *run_resilient(core, s0, nsteps, rcfg)
+
+    def chunked_reference(segments):
+        """Fault-free trajectory, chunked like the resilient driver."""
+        transport = ResilienceConfig(checkpoint_dir="/unused").transport
+        state, step = s0, 0
+        for ranks, until in segments:
+            core = DynamicalCore(
+                grid, algorithm="original-yz", nprocs=ranks,
+            )
+            while step < until:
+                c = min(chunk, nsteps - step)
+                state, _, _ = core._run_once(
+                    state, c, faults=None, verify_checksums=True,
+                    transport=transport, timeout=None, step0=step,
+                )
+                step += c
+        return state
+
+    with tempfile.TemporaryDirectory() as tmp:
+        _, _, clean_diag, _ = resilient("abort", None, f"{tmp}/clean")
+        policies = {}
+        for policy in ("spare", "shrink"):
+            faults = FaultPlan(
+                seed=BENCH_SEED,
+                node_losses=(NodeLoss(rank=1, at_call=30),),
+            )
+            t0 = time.perf_counter()
+            _, final, diag, report = resilient(
+                policy, faults, f"{tmp}/{policy}"
+            )
+            wall = time.perf_counter() - t0
+            rl = report.rank_losses[0]
+            segments = (
+                [(nprocs, nsteps)] if policy == "spare"
+                else [(nprocs, rl.step), (report.final_nranks, nsteps)]
+            )
+            ref = chunked_reference(segments)
+            policies[policy] = {
+                "mttr": rl.mttr,
+                "detect_s": rl.detect_s,
+                "migrate_s": rl.migrate_s,
+                "recovery_time": report.recovery_time,
+                "recovery_frac": report.recovery_time / clean_diag.makespan,
+                "final_nranks": report.final_nranks,
+                "source": rl.source,
+                "trajectory_max_diff": final.max_difference(ref),
+                "wall_s": wall,
+            }
+    return {
+        "kind": "recovery_mttr",
+        "mesh": mesh.name,
+        "algorithm": "original-yz",
+        "nprocs": nprocs,
+        "timed_steps": nsteps,
+        "clean_makespan": clean_diag.makespan,
+        "policies": policies,
+    }
+
+
+def recovery_mttr_violations(report: dict, limit: float = 0.5) -> list[str]:
+    """Recovery cases breaking the MTTR or trajectory gates.
+
+    ``limit`` bounds the *logical* recovery overhead as a fraction of
+    the fault-free makespan; the trajectory gate is zero-tolerance.
+    Both are absolute (deterministic logical clocks, bit-level state
+    comparison): no baseline report is needed.
+    """
+    violations = []
+    for case in report["cases"]:
+        if case.get("kind") != "recovery_mttr":
+            continue
+        for policy, rec in case["policies"].items():
+            if rec["recovery_frac"] > limit:
+                violations.append(
+                    f"{case_key(case)}[{policy}]: recovery costs "
+                    f"{rec['recovery_frac'] * 100.0:.1f}% of the "
+                    f"fault-free makespan (limit {limit * 100.0:.0f}%)"
+                )
+            if rec["trajectory_max_diff"] != 0.0:
+                violations.append(
+                    f"{case_key(case)}[{policy}]: trajectory anomaly — "
+                    f"recovered state differs from the fault-free "
+                    f"reference by {rec['trajectory_max_diff']:.3e}"
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # report assembly / IO / regression gate
 # ---------------------------------------------------------------------------
 def _git_sha() -> str | None:
@@ -561,6 +685,7 @@ def run_benchmarks(quick: bool = False, repeats: int = 1) -> dict:
     else:
         cases.extend(bench_parallel_scaling(MEDIUM, nprocs_list=(1, 2, 4)))
     cases.append(bench_transport_overhead(SMALL, nsteps=dist_steps))
+    cases.append(bench_recovery_mttr(SMALL, nsteps=4))
     return {
         "schema_version": SCHEMA_VERSION,
         "quick": quick,

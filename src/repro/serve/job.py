@@ -32,7 +32,7 @@ import repro
 JOB_SCHEMA_VERSION = 1
 
 #: chaos kinds understood by the worker (see ``repro.serve.worker``)
-CHAOS_KINDS = ("crash", "wedge", "poison")
+CHAOS_KINDS = ("crash", "wedge", "poison", "rankloss")
 
 
 class JobPoisoned(RuntimeError):
@@ -63,11 +63,22 @@ class JobSpec:
         Steps per resilience chunk; each committed chunk writes a
         checkpoint (the job resumes from it after a crash) and emits a
         heartbeat.
+    rank_loss_policy / spare_ranks:
+        Elastic rank-loss recovery of the inner simulation (see
+        :class:`~repro.core.resilience.ResilienceConfig`): with
+        ``"spare"`` or ``"shrink"``, a permanent loss of a simulated
+        rank is healed *inside the running job* — no worker retry is
+        consumed — instead of failing the attempt.
     chaos:
         ``None`` for production jobs.  Tests/load tests set
         ``{"kind": "crash" | "wedge" | "poison", "attempts": [1],
         "after_chunks": 1, "wedge_seconds": 3600.0}`` to misbehave
-        deterministically on the listed attempts (1-based).
+        deterministically on the listed attempts (1-based).  The
+        ``"rankloss"`` kind instead injects a *permanent node loss* of
+        one simulated rank (``{"kind": "rankloss", "rank": 1,
+        "at_call": 30}``) into the job's fault plan; it requires
+        ``nprocs >= 2`` and is normally paired with a non-abort
+        ``rank_loss_policy``.
     """
 
     name: str = "job"
@@ -83,6 +94,8 @@ class JobSpec:
     m_iterations: int = 3
     amplitude_k: float = 1.0
     checkpoint_interval: int = 1
+    rank_loss_policy: str = "abort"
+    spare_ranks: int = 0
     chaos: dict | None = None
 
     def __post_init__(self) -> None:
@@ -90,11 +103,22 @@ class JobSpec:
             raise ValueError("nsteps must be >= 1")
         if self.checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
+        if self.rank_loss_policy not in ("abort", "spare", "shrink"):
+            raise ValueError(
+                f"rank_loss_policy must be 'abort', 'spare' or 'shrink', "
+                f"got {self.rank_loss_policy!r}"
+            )
+        if self.spare_ranks < 0:
+            raise ValueError("spare_ranks must be >= 0")
         if self.chaos is not None:
             kind = self.chaos.get("kind")
             if kind not in CHAOS_KINDS:
                 raise ValueError(
                     f"chaos kind {kind!r} not in {CHAOS_KINDS}"
+                )
+            if kind == "rankloss" and self.nprocs < 2:
+                raise ValueError(
+                    "rankloss chaos needs a distributed job (nprocs >= 2)"
                 )
 
     def canonical(self) -> str:
@@ -221,6 +245,10 @@ class JobResult:
     state_digest: str | None = None
     resumed_from_step: int = 0
     restarts: int = 0
+    #: permanent simulated-rank losses healed in place (no retry consumed)
+    rank_losses: int = 0
+    membership_epoch: int = 0
+    final_nranks: int = 0
     watchdog_kills: int = 0
     makespan: float = 0.0
     error_type: str | None = None

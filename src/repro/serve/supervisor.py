@@ -55,6 +55,7 @@ from repro.serve.job import JobResult, JobSpec, backoff_delay, job_key, state_di
 from repro.serve.queue import BoundedJobQueue, Empty, ServerBusy
 from repro.serve.worker import worker_main, worker_process_entry
 from repro.simmpi.launcher import reap_processes
+from repro.simmpi.shm import sweep_stale_segments
 from repro.state.io import load_state
 
 logger = logging.getLogger(__name__)
@@ -367,6 +368,9 @@ class JobServer:
                     w.conn.close()
                 except OSError:
                     pass
+        # Reaped workers may have died holding inner SPMD shm worlds open
+        # (process-backend jobs); unlink whatever their dead pids left.
+        sweep_stale_segments()
         self._closed = True
 
     def __enter__(self) -> "JobServer":
@@ -626,6 +630,8 @@ class JobServer:
                 w.conn.close()
             except OSError:
                 pass
+            # a killed worker cannot clean up its inner SPMD shm worlds
+            sweep_stale_segments()
         if (
             self.executor == "process"
             and w.restarts > self.config.max_worker_restarts
@@ -713,7 +719,11 @@ class JobServer:
             latency_s=time.monotonic() - job.submitted_at,
             artifact=path, state_digest=out["digest"],
             resumed_from_step=out["resumed_from_step"],
-            restarts=out["restarts"], watchdog_kills=job.watchdog_kills,
+            restarts=out["restarts"],
+            rank_losses=out.get("rank_losses", 0),
+            membership_epoch=out.get("membership_epoch", 0),
+            final_nranks=out.get("final_nranks", 0),
+            watchdog_kills=job.watchdog_kills,
             makespan=out["makespan"], worker=w.slot, notes=list(job.notes),
         )
         self._record_completion(result, trace_id=job.trace_id)

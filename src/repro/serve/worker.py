@@ -18,7 +18,11 @@ a job that stops committing chunks is, by definition, wedged.
 Chaos clauses (tests and the load-test driver only) make a worker
 misbehave deterministically: ``crash`` hard-exits the process mid-job,
 ``wedge`` stops heartbeating without dying, ``poison`` raises a typed
-error on every attempt.
+error on every attempt.  ``rankloss`` is different: it injects a
+permanent node loss of one *simulated* rank into the job's fault plan —
+the elastic tier of the resilient driver heals it inside the running
+attempt (spare adoption or communicator shrink), so the job completes
+without consuming a worker retry.
 """
 from __future__ import annotations
 
@@ -60,8 +64,29 @@ class _Chaos:
         self.attempts = set(clause.get("attempts", [1]))
         self.after_chunks = int(clause.get("after_chunks", 1))
         self.wedge_seconds = float(clause.get("wedge_seconds", 3600.0))
+        self.rank = int(clause.get("rank", 1))
+        self.at_call = int(clause.get("at_call", 30))
+        self.seed = int(clause.get("seed", 0))
         self.attempt = attempt
         self.allow_exit = allow_exit
+
+    def fault_plan(self):
+        """Fault plan of a ``rankloss`` clause (``None`` otherwise).
+
+        Unlike the other kinds — which misbehave at the *worker* level
+        and cost a retry — a rank loss fires inside the simulation and
+        is healed there by the elastic tier of the resilient driver.
+        """
+        if self.kind != "rankloss" or not self.armed:
+            return None
+        from repro.simmpi import FaultPlan, NodeLoss
+
+        return FaultPlan(
+            seed=self.seed,
+            node_losses=(
+                NodeLoss(rank=self.rank, at_call=self.at_call),
+            ),
+        )
 
     @property
     def armed(self) -> bool:
@@ -144,6 +169,9 @@ def execute_job(
         max_restarts=4,
         resume=True,          # fresh dir on attempt 1 -> starts from state0
         on_chunk=on_chunk,
+        rank_loss_policy=spec.rank_loss_policy,
+        spare_ranks=spec.spare_ranks,
+        faults=chaos.fault_plan(),
     )
     final, diag, report = core.run_resilient(state0, spec.nsteps, rcfg)
     return {
@@ -151,6 +179,9 @@ def execute_job(
         "digest": state_digest(final),
         "resumed_from_step": report.resumed_from_step,
         "restarts": report.nrestarts,
+        "rank_losses": len(report.rank_losses),
+        "membership_epoch": report.membership_epoch,
+        "final_nranks": report.final_nranks,
         "makespan": diag.makespan,
     }
 

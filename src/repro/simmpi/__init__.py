@@ -35,11 +35,25 @@ from repro.simmpi.faults import (
     FaultInjector,
     FaultPlan,
     LinkFault,
+    NodeLoss,
     RankCrash,
+    RankLost,
     Straggler,
 )
 from repro.simmpi.comm import SimComm, Request
 from repro.simmpi.launcher import BACKENDS, run_spmd, SpmdResult, SpmdError
+from repro.simmpi.membership import (
+    CommRebuild,
+    FailureDetector,
+    MembershipConfig,
+    MembershipDecision,
+    MembershipView,
+    RankFailureEvidence,
+    RankLossUnrecoverable,
+    SparePool,
+    evidence_from_failure,
+    shrink_map,
+)
 
 __all__ = [
     "BACKENDS",
@@ -64,6 +78,18 @@ __all__ = [
     "LinkFault",
     "DegradedWindow",
     "Straggler",
+    "NodeLoss",
     "RankCrash",
+    "RankLost",
     "CorruptedMessage",
+    "CommRebuild",
+    "FailureDetector",
+    "MembershipConfig",
+    "MembershipDecision",
+    "MembershipView",
+    "RankFailureEvidence",
+    "RankLossUnrecoverable",
+    "SparePool",
+    "evidence_from_failure",
+    "shrink_map",
 ]

@@ -25,6 +25,7 @@ from repro.simmpi.faults import (
     FaultEvent,
     FaultInjector,
     RankCrash,
+    RankLost,
 )
 from repro.simmpi.machine import MachineModel
 from repro.simmpi.network import (
@@ -219,16 +220,54 @@ class SimComm:
 
     def _fault_hook(self, count: bool = True) -> None:
         """Consult the injector before a communication operation; raises
-        :class:`~repro.simmpi.faults.RankCrash` when a crash spec fires."""
+        :class:`~repro.simmpi.faults.RankCrash` when a crash spec fires
+        and :class:`~repro.simmpi.faults.RankLost` (thread backend) or a
+        self-inflicted SIGKILL (process backend) on a node loss."""
         inj = self._injector
         if inj is None:
             return
         if count:
             self._comm_calls += 1
+        event = inj.check_node_loss(self.rank, self.clock, self._comm_calls)
+        if event is not None:
+            self._record_fault(event)
+            if getattr(self._world, "hard_kill_on_node_loss", False):
+                self._die_hard(event)
+            raise RankLost(self.rank, event.detail)
         event = inj.check_crash(self.rank, self.clock, self._comm_calls)
         if event is not None:
             self._record_fault(event)
             raise RankCrash(self.rank, event.detail)
+
+    def _die_hard(self, event: FaultEvent) -> None:
+        """Process backend node loss: genuinely kill this rank's OS
+        process.  SIGKILL is unmaskable and skips every handler and
+        ``finally`` — the parent learns of the death only through the
+        status pipe's EOF, exactly like a real node failure.  A flight
+        recorder installed in this process dumps first (post-mortem
+        artifact naming the lost rank), since nothing runs after KILL.
+        """
+        import os
+        import signal
+
+        from repro.obs import flightrec
+
+        flightrec.note(
+            "node-loss", rank=self.rank, t=event.t, detail=event.detail
+        )
+        rec = flightrec.get_recorder()
+        if rec is not None:
+            try:
+                # the recorder was fork-inherited: dump to a per-victim
+                # path so the parent's own dump is not clobbered
+                rec.path = rec.path.with_name(
+                    f"{rec.path.stem}-lostrank{self.rank}-"
+                    f"pid{os.getpid()}{rec.path.suffix}"
+                )
+                rec.dump(f"node loss: rank {self.rank} killed")
+            except Exception:  # noqa: BLE001 - nothing may delay the kill
+                pass
+        os.kill(os.getpid(), signal.SIGKILL)
 
     # ---- phases -----------------------------------------------------------
     def set_phase(self, phase: str | None) -> None:

@@ -53,10 +53,30 @@ logger = logging.getLogger(__name__)
 class RankCrash(RuntimeError):
     """An injected fatal failure of one simulated rank."""
 
+    #: whether the failed rank is gone for good (node loss) or merely
+    #: crashed-and-replaceable; the failure detector uses this as direct
+    #: evidence when classifying transient vs permanent failures
+    permanent = False
+
     def __init__(self, rank: int, detail: str = "") -> None:
         self.rank = rank
         suffix = f": {detail}" if detail else ""
         super().__init__(f"rank {rank} crashed (injected){suffix}")
+
+
+class RankLost(RankCrash):
+    """A *permanent* node loss: the rank's host is gone and will not
+    return at this rank count.  On the thread backend the victim raises
+    this; on the process backend the victim's OS process is SIGKILLed
+    instead (the parent sees the pipe EOF as a ``ChildProcessError``)."""
+
+    permanent = True
+
+    def __init__(self, rank: int, detail: str = "") -> None:
+        super().__init__(rank, detail)
+        # overwrite the message: this is a node death, not a mere crash
+        suffix = f": {detail}" if detail else ""
+        self.args = (f"rank {rank} lost its node (injected){suffix}",)
 
 
 class CorruptedMessage(RuntimeError):
@@ -83,6 +103,39 @@ class CrashSpec:
     def __post_init__(self) -> None:
         if self.at_time is None and self.at_call is None and self.at_attempt is None:
             raise ValueError("CrashSpec needs at_time, at_call and/or at_attempt")
+
+    def triggered(self, clock: float, ncalls: int, attempt: int) -> bool:
+        if self.at_attempt is not None and attempt != self.at_attempt:
+            return False
+        if self.at_time is not None and clock < self.at_time:
+            return False
+        if self.at_call is not None and ncalls < self.at_call:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class NodeLoss:
+    """Permanently kill ``rank``'s node when every trigger condition holds.
+
+    Trigger semantics match :class:`CrashSpec` (logical time, cumulative
+    comm-call count, launch attempt; at least one required).  Unlike a
+    crash the failure is *permanent*: on the thread backend the victim
+    raises :class:`RankLost`, on the process backend the victim's OS
+    process SIGKILLs itself — in both cases a replacement at the same
+    rank id only exists if the recovery policy provides one (hot spare),
+    otherwise the run must shrink.  Node losses are one-shot per
+    injector, like crash specs.
+    """
+
+    rank: int
+    at_time: float | None = None
+    at_call: int | None = None
+    at_attempt: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_time is None and self.at_call is None and self.at_attempt is None:
+            raise ValueError("NodeLoss needs at_time, at_call and/or at_attempt")
 
     def triggered(self, clock: float, ncalls: int, attempt: int) -> bool:
         if self.at_attempt is not None and attempt != self.at_attempt:
@@ -186,9 +239,23 @@ class FaultPlan:
     link_faults: tuple[LinkFault, ...] = ()
     degraded: tuple[DegradedWindow, ...] = ()
     stragglers: tuple[Straggler, ...] = ()
+    node_losses: tuple[NodeLoss, ...] = ()
 
     def injector(self) -> "FaultInjector":
         return FaultInjector(self)
+
+    @property
+    def node_loss_only(self) -> bool:
+        """True when the plan injects nothing but permanent node losses.
+
+        Such plans are *process-safe*: the victim kills its own OS
+        process (no cross-rank RNG coordination needed), so the launcher
+        allows them on the process backend — the only fault class that
+        genuinely exercises kill-the-OS-process recovery.
+        """
+        return bool(self.node_losses) and not (
+            self.crashes or self.link_faults or self.degraded or self.stragglers
+        )
 
     def describe(self) -> str:
         parts = [
@@ -196,6 +263,7 @@ class FaultPlan:
             f"{len(self.link_faults)} link fault(s)",
             f"{len(self.degraded)} degraded window(s)",
             f"{len(self.stragglers)} straggler(s)",
+            f"{len(self.node_losses)} node loss(es)",
         ]
         return f"FaultPlan(seed={self.seed}: " + ", ".join(parts) + ")"
 
@@ -205,8 +273,8 @@ class FaultEvent:
     """One injected (or detected) fault occurrence on one rank."""
 
     rank: int
-    #: "crash" | "drop" | "corrupt" | "degrade" | "straggle" |
-    #: "corruption-detected"
+    #: "crash" | "node-loss" | "drop" | "corrupt" | "degrade" |
+    #: "straggle" | "corruption-detected"
     kind: str
     t: float
     attempt: int = 1
@@ -226,6 +294,7 @@ class FaultInjector:
         self.plan = plan
         self.attempt = 0
         self._fired_crashes: set[int] = set()
+        self._fired_node_losses: set[int] = set()
         self._noted: set[tuple] = set()
         self._rngs: dict[int, np.random.Generator] = {}
         self._lock = threading.Lock()
@@ -236,6 +305,31 @@ class FaultInjector:
         attempt event markers; fired crashes stay consumed."""
         with self._lock:
             self.attempt += 1
+            self._rngs = {}
+            self._noted = set()
+
+    def snapshot(self) -> tuple[int, frozenset[int], frozenset[int]]:
+        """Fork-shippable injector state: ``(attempt, fired crash spec
+        indices, fired node-loss spec indices)``.  A process-backend
+        child rebuilds an equivalent injector from the (picklable) plan
+        plus this snapshot, so one-shot semantics hold across the fork
+        boundary."""
+        with self._lock:
+            return (
+                self.attempt,
+                frozenset(self._fired_crashes),
+                frozenset(self._fired_node_losses),
+            )
+
+    def restore_snapshot(
+        self, snap: tuple[int, frozenset[int], frozenset[int]]
+    ) -> None:
+        """Adopt a :meth:`snapshot` (process-backend child, post-fork)."""
+        attempt, crashes, losses = snap
+        with self._lock:
+            self.attempt = attempt
+            self._fired_crashes = set(crashes)
+            self._fired_node_losses = set(losses)
             self._rngs = {}
             self._noted = set()
 
@@ -280,6 +374,46 @@ class FaultInjector:
                 f"t={clock:.6g} call={ncalls} attempt={self.attempt}",
             )
         return None
+
+    # ---- node losses -----------------------------------------------------
+    def check_node_loss(
+        self, rank: int, clock: float, ncalls: int
+    ) -> FaultEvent | None:
+        """The node-loss event to fire now, or None.  Marks the spec
+        consumed (one-shot, like crashes)."""
+        for i, spec in enumerate(self.plan.node_losses):
+            if spec.rank != rank:
+                continue
+            if not spec.triggered(clock, ncalls, self.attempt):
+                continue
+            with self._lock:
+                if i in self._fired_node_losses:
+                    continue
+                self._fired_node_losses.add(i)
+            logger.warning(
+                "injected node loss on rank %d (t=%.6g, call %d, attempt %d)",
+                rank, clock, ncalls, self.attempt,
+            )
+            return FaultEvent(
+                rank, "node-loss", clock, self.attempt,
+                f"t={clock:.6g} call={ncalls} attempt={self.attempt}",
+            )
+        return None
+
+    def consume_node_losses(self, ranks) -> None:
+        """Mark every node-loss spec targeting ``ranks`` as fired.
+
+        The recovery driver calls this once a loss has been detected and
+        absorbed: on the process backend the victim died in a *forked
+        copy* of this injector, so the parent's copy must be told the
+        spec is spent — otherwise a relaunch (spare adoption at the same
+        rank id) would kill the replacement too.
+        """
+        targets = set(ranks)
+        with self._lock:
+            for i, spec in enumerate(self.plan.node_losses):
+                if spec.rank in targets:
+                    self._fired_node_losses.add(i)
 
     # ---- point-to-point --------------------------------------------------
     def on_send(

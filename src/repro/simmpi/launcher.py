@@ -235,11 +235,25 @@ def run_spmd(
     )
     if backend == "process":
         if faults is not None:
-            raise ValueError(
-                "fault injection requires backend='thread' — injected "
-                "drops/crashes rely on deterministic in-process delivery"
-            )
+            plan = faults.plan if isinstance(faults, FaultInjector) else faults
+            if not plan.node_loss_only:
+                raise ValueError(
+                    "fault injection on backend='process' is limited to "
+                    "node-loss-only plans (the victim kills its own OS "
+                    "process) — injected drops/crashes rely on "
+                    "deterministic in-process delivery (backend='thread')"
+                )
         if nranks > 1:
+            injector = (
+                faults.injector() if isinstance(faults, FaultPlan) else faults
+            )
+            faults_state = None
+            if injector is not None:
+                injector.begin_attempt()
+                # children fork *copies* of the injector: ship the plan
+                # plus the fired-spec snapshot so one-shot semantics and
+                # the attempt number survive the fork boundary
+                faults_state = (injector.plan, injector.snapshot())
             with launch_cm as launch:
                 trace_ctx = None
                 if wall_tracer is not None:
@@ -257,6 +271,7 @@ def run_spmd(
                     shm_link_bytes=shm_link_bytes,
                     join_grace=join_grace,
                     trace_ctx=trace_ctx,
+                    faults_state=faults_state,
                 )
         # single rank: the serial fast path below is already process-free
     injector = faults.injector() if isinstance(faults, FaultPlan) else faults
@@ -362,7 +377,8 @@ def _picklable(exc: BaseException) -> BaseException:
 
 
 def _process_rank_main(
-    world, rank: int, fn, args, trace: bool, ends, trace_ctx=None
+    world, rank: int, fn, args, trace: bool, ends, trace_ctx=None,
+    faults_state=None,
 ) -> None:
     """Entry point of one rank process (after fork).
 
@@ -387,6 +403,15 @@ def _process_rank_main(
     tracer = None
     try:
         world.attach(rank)
+        if faults_state is not None:
+            # rebuild this rank's injector from the launcher's snapshot:
+            # same plan, same attempt number, same consumed one-shot
+            # specs — so node-loss triggers fire at the same logical
+            # point as they would on the thread backend
+            plan, snap = faults_state
+            inj = FaultInjector(plan)
+            inj.restore_snapshot(snap)
+            world.injector = inj
         set_rank(rank)
         parent_tracer = active_tracer()  # inherited through fork
         if parent_tracer is not None:
@@ -450,6 +475,7 @@ def _run_spmd_process(
     shm_link_bytes: int | None,
     join_grace: float,
     trace_ctx: tuple[str, int] | None = None,
+    faults_state=None,
 ) -> SpmdResult:
     """One OS process per rank over shared-memory rings (fork start method).
 
@@ -461,7 +487,7 @@ def _run_spmd_process(
     """
     from multiprocessing.connection import wait as conn_wait
 
-    from repro.simmpi.shm import ShmWorld
+    from repro.simmpi.shm import ShmWorld, sweep_stale_segments
 
     world = ShmWorld(
         nranks, machine,
@@ -482,7 +508,8 @@ def _run_spmd_process(
         for r in range(nranks):
             procs[r] = ctx.Process(
                 target=_process_rank_main,
-                args=(world, r, fn, args, trace, child_ends, trace_ctx),
+                args=(world, r, fn, args, trace, child_ends, trace_ctx,
+                      faults_state),
                 daemon=True,
                 name=f"rank{r}",
             )
@@ -586,3 +613,6 @@ def _run_spmd_process(
         for conn in conns.values():
             conn.close()
         world.destroy()
+        # reclaim segments a *previous*, SIGKILLed launcher left behind
+        # (our own are covered by destroy() and the shm atexit hook)
+        sweep_stale_segments()

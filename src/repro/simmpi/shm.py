@@ -34,11 +34,25 @@ Design notes
   are therefore bit-identical between backends.
 
 Fault injection stays on the thread backend (deterministic in-process
-delivery); :func:`~repro.simmpi.launcher.run_spmd` enforces that.
+delivery) with one exception: *node-loss-only* plans, whose victims
+SIGKILL their own OS process (see ``SimComm._die_hard``) — the genuine
+kill-the-process failure mode the membership layer
+(:mod:`repro.simmpi.membership`) detects and recovers from.
+:func:`~repro.simmpi.launcher.run_spmd` enforces the restriction.
+
+Segment lifetime: segments are *named* (``repro-shm-<pid>-<token>-*``)
+and tracked in a live registry with an atexit hook, so clean exits,
+exceptions and normal interpreter shutdown all unlink them; a launcher
+that dies by SIGKILL leaves segments that the next launch (or the serve
+supervisor) reclaims via :func:`sweep_stale_segments`.
 """
 from __future__ import annotations
 
+import atexit
+import os
 import pickle
+import re
+import secrets
 import struct
 import time
 import zlib
@@ -77,6 +91,68 @@ def default_link_bytes(nranks: int) -> int:
     """Ring capacity per directed link, bounded to ~64 MB per world."""
     budget = (64 * 1024 * 1024) // max(1, nranks * nranks)
     return max(256 * 1024, min(DEFAULT_LINK_BYTES, budget))
+
+
+# ---------------------------------------------------------------------------
+# segment lifetime: named segments, a live registry, and a stale sweep
+# ---------------------------------------------------------------------------
+#: all segments carry this prefix plus the creating pid, so a sweep can
+#: tell "owned by a live launcher" from "leaked by a dead one"
+SEGMENT_PREFIX = "repro-shm"
+
+#: worlds created by this process whose segments are not yet unlinked;
+#: the atexit hook below destroys whatever a crashing caller left behind
+_live_worlds: set["ShmWorld"] = set()
+
+
+def _destroy_live_worlds() -> None:
+    for world in list(_live_worlds):
+        world.destroy()
+
+
+atexit.register(_destroy_live_worlds)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def live_segment_names(shm_dir: str = "/dev/shm") -> list[str]:
+    """The repro-owned segment files currently present (diagnostics)."""
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return []
+    return sorted(n for n in names if n.startswith(SEGMENT_PREFIX + "-"))
+
+
+def sweep_stale_segments(shm_dir: str = "/dev/shm") -> list[str]:
+    """Unlink segments whose creating process is dead; returns the names.
+
+    The guaranteed-cleanup backstop: ``ShmWorld.destroy`` handles the
+    clean path and the atexit hook handles an exiting parent, but a
+    SIGKILLed launcher can still leave segments behind — any later
+    launcher (or the serve supervisor's reap path) calls this to reclaim
+    them.  Segments of *live* pids are never touched.
+    """
+    removed: list[str] = []
+    pat = re.compile(rf"^{re.escape(SEGMENT_PREFIX)}-(\d+)-")
+    for name in live_segment_names(shm_dir):
+        m = pat.match(name)
+        if m is None or _pid_alive(int(m.group(1))):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+            removed.append(name)
+        except OSError:
+            pass
+    return removed
 
 
 def _encode_payload(payload: Any) -> tuple[int, int, bytes, tuple[int, ...], Any]:
@@ -346,6 +422,11 @@ class ShmWorld:
     #: SimComm may skip its defensive payload copy (see ``_as_payload``)
     copies_on_deliver = True
 
+    #: a node-loss fault on this backend kills the victim's OS process
+    #: outright (SIGKILL) instead of raising — the real failure mode the
+    #: membership layer exists to detect (see ``SimComm._die_hard``)
+    hard_kill_on_node_loss = True
+
     def __init__(
         self,
         nranks: int,
@@ -370,10 +451,28 @@ class ShmWorld:
         self.rank = -1  # parent; children set this in attach()
         stride = _RING_HDR + self.link_bytes
         self._stride = stride
-        # POSIX shared memory is zero-filled on creation, which is exactly
-        # the initial ring state (head == tail == 0, abort flag clear)
-        self._rings = SharedMemory(create=True, size=nranks * nranks * stride)
-        self._ctrl = SharedMemory(create=True, size=_CTRL_SIZE)
+        # Named segments: the creating pid in the name lets a stale sweep
+        # identify leaked segments; the live registry plus its atexit hook
+        # guarantees cleanup even when the caller never reaches destroy().
+        base = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+        self._rings = self._ctrl = None
+        try:
+            # POSIX shared memory is zero-filled on creation, which is
+            # exactly the initial ring state (head == tail == 0, abort
+            # flag clear)
+            self._rings = SharedMemory(
+                name=f"{base}-rings", create=True,
+                size=nranks * nranks * stride,
+            )
+            self._ctrl = SharedMemory(
+                name=f"{base}-ctrl", create=True, size=_CTRL_SIZE
+            )
+        except BaseException:
+            # partial construction (e.g. the ctrl segment failed after the
+            # rings were created) must not leak the rings segment
+            self.destroy()
+            raise
+        _live_worlds.add(self)
         self.mailboxes = [ShmMailbox(self, r) for r in range(nranks)]
         self._groups: dict[tuple[int, ...], ShmGroupContext] = {}
 
@@ -383,13 +482,24 @@ class ShmWorld:
         self.rank = rank
 
     def destroy(self) -> None:
-        """Release and unlink the shared segments (parent, after join)."""
+        """Release and unlink the shared segments (idempotent).
+
+        Runs on the clean parent-after-join path, from the launcher's
+        ``finally``, and — for callers that never got there — from the
+        module's atexit hook.  Forked children never run this: they leave
+        through ``os._exit`` (multiprocessing's bootstrap), which skips
+        atexit, so only the creating parent unlinks.
+        """
+        _live_worlds.discard(self)
         for shm in (self._rings, self._ctrl):
+            if shm is None:
+                continue
             try:
                 shm.close()
                 shm.unlink()
             except (FileNotFoundError, OSError):
                 pass
+        self._rings = self._ctrl = None
 
     # ---- SimWorld surface --------------------------------------------------
     def group(self, ranks: tuple[int, ...]) -> ShmGroupContext:

@@ -84,6 +84,75 @@ class TestBuddyStoreUnit:
             store.restore(5)
 
 
+class TestBuddyRingProperties:
+    """Edge-case properties of the buddy ring itself."""
+
+    @pytest.mark.parametrize("nranks", range(2, 12))
+    def test_no_rank_is_its_own_buddy(self, nranks):
+        """For any world of >= 2 ranks the ring never degenerates: a
+        rank mirrored onto itself would make every crash a double
+        fault."""
+        for r in range(nranks):
+            assert buddy_of(r, nranks) != r
+
+    @pytest.mark.parametrize("nranks", range(2, 12))
+    def test_ring_is_a_bijection(self, nranks):
+        """Every rank hosts exactly one mirror (the ring is a single
+        cycle, so no host is overloaded and none is idle)."""
+        hosts = [buddy_of(r, nranks) for r in range(nranks)]
+        assert sorted(hosts) == list(range(nranks))
+
+    @pytest.mark.parametrize("nranks", [3, 5, 7])
+    def test_odd_rank_counts_survive_any_single_loss(self, nranks):
+        """Odd worlds have no pairing symmetry to lean on; each single
+        loss must still be recoverable from the surviving mirror."""
+        from repro.grid.decomposition import yz_decomposition
+
+        decomp = yz_decomposition(32, 16, 8, nranks)
+        state = perturbed_rest_state(LatLonGrid(nx=32, ny=16, nz=8))
+        for lost in range(nranks):
+            store = BuddyStore(decomp)
+            store.store(3, state)
+            store.drop_ranks((lost,))
+            assert state.max_difference(store.restore(3)) == 0.0
+
+    @pytest.mark.parametrize("nranks", [3, 4, 5])
+    def test_owner_and_buddy_lost_always_escalates(self, nranks):
+        """Losing any rank together with its mirror host must raise
+        ``BuddyLost`` — the signal that sends the resilient driver to
+        the disk tier."""
+        from repro.grid.decomposition import yz_decomposition
+
+        decomp = yz_decomposition(32, 16, 8, nranks)
+        state = perturbed_rest_state(LatLonGrid(nx=32, ny=16, nz=8))
+        for lost in range(nranks):
+            store = BuddyStore(decomp)
+            store.store(3, state)
+            store.drop_ranks((lost, buddy_of(lost, nranks)))
+            with pytest.raises(BuddyLost):
+                store.restore(3)
+
+    @pytest.mark.parametrize("nranks", [3, 4, 5])
+    def test_non_adjacent_double_loss_is_recoverable(self, nranks):
+        """Two losses that are NOT owner+buddy leave one copy of every
+        block alive; the restore must succeed (the elastic tier relies
+        on this to avoid disk on independent multi-rank losses)."""
+        from repro.grid.decomposition import yz_decomposition
+
+        decomp = yz_decomposition(32, 16, 8, nranks)
+        state = perturbed_rest_state(LatLonGrid(nx=32, ny=16, nz=8))
+        pairs = [
+            (a, b)
+            for a in range(nranks) for b in range(a + 1, nranks)
+            if buddy_of(a, nranks) != b and buddy_of(b, nranks) != a
+        ]
+        for a, b in pairs:
+            store = BuddyStore(decomp)
+            store.store(3, state)
+            store.drop_ranks((a, b))
+            assert state.max_difference(store.restore(3)) == 0.0
+
+
 class TestEscalationLadderAcceptance:
     def test_chaos_run_heals_with_one_buddy_restore_and_no_disk(
         self, tmp_path, grid, params, state0

@@ -1,0 +1,210 @@
+"""Failure detector, spare pool, shrink maps, and evidence extraction."""
+import time
+
+import pytest
+
+from repro.simmpi import (
+    FaultPlan,
+    MachineModel,
+    NodeLoss,
+    RankCrash,
+    RankLost,
+    run_spmd,
+)
+from repro.simmpi.launcher import SpmdError
+from repro.simmpi.membership import (
+    FailureDetector,
+    MembershipConfig,
+    MembershipView,
+    RankFailureEvidence,
+    RankLossUnrecoverable,
+    SparePool,
+    evidence_from_failure,
+    shrink_map,
+)
+
+
+class TestMembershipConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            MembershipConfig(heartbeat_period=0.0)
+        with pytest.raises(ValueError):
+            MembershipConfig(suspicion_multiplier=0.5)
+        with pytest.raises(ValueError):
+            MembershipConfig(suspicion_jitter=1.5)
+        with pytest.raises(ValueError):
+            MembershipConfig(quorum=0.0)
+        with pytest.raises(ValueError):
+            MembershipConfig(permanent_after=0)
+
+
+class TestEvidenceExtraction:
+    def test_bare_rank_lost_is_node_loss(self):
+        (ev,) = evidence_from_failure(RankLost(2, "gone"))
+        assert ev.rank == 2
+        assert ev.kind == "node-loss"
+        assert ev.directly_permanent
+
+    def test_bare_rank_crash_is_transient(self):
+        (ev,) = evidence_from_failure(RankCrash(1))
+        assert ev.kind == "crash"
+        assert not ev.directly_permanent
+
+    def test_unrelated_exception_yields_nothing(self):
+        assert evidence_from_failure(ValueError("nope")) == ()
+
+    def test_spmd_node_loss_thread_backend(self):
+        def program(comm):
+            for _ in range(6):
+                comm.barrier()
+
+        plan = FaultPlan(seed=3, node_losses=(NodeLoss(rank=1, at_call=3),))
+        with pytest.raises(SpmdError) as err:
+            run_spmd(4, program, faults=plan)
+        evidence = evidence_from_failure(err.value)
+        assert [(e.rank, e.kind) for e in evidence] == [(1, "node-loss")]
+        assert evidence[0].t > 0.0  # logical death time from fault events
+
+    def test_spmd_node_loss_process_backend(self):
+        def program(comm):
+            for _ in range(6):
+                comm.barrier()
+
+        plan = FaultPlan(seed=3, node_losses=(NodeLoss(rank=2, at_call=3),))
+        with pytest.raises(SpmdError) as err:
+            run_spmd(4, program, faults=plan, backend="process")
+        kinds = {e.rank: e.kind for e in evidence_from_failure(err.value)}
+        # the victim's OS process was SIGKILLed: either the recorded
+        # node-loss event or the raw process death names rank 2
+        assert kinds[2] in ("node-loss", "process-death")
+        assert all(
+            RankFailureEvidence(r, k).directly_permanent
+            for r, k in kinds.items()
+        )
+
+
+class TestDetectorClassification:
+    def test_node_loss_is_immediately_permanent(self):
+        det = FailureDetector(4)
+        d = det.decide((RankFailureEvidence(1, "node-loss", t=1e-3),))
+        assert d.permanent == (1,)
+        assert d.transient == ()
+        assert d.lost == (1,)
+
+    def test_single_crash_is_transient(self):
+        det = FailureDetector(4)
+        d = det.decide((RankFailureEvidence(1, "crash", t=1e-3),))
+        assert d.permanent == ()
+        assert d.transient == (1,)
+
+    def test_flapping_rank_escalates_to_permanent(self):
+        det = FailureDetector(4, MembershipConfig(permanent_after=2))
+        first = det.decide((RankFailureEvidence(3, "crash"),))
+        assert first.permanent == ()
+        second = det.decide((RankFailureEvidence(3, "crash"),))
+        assert second.permanent == (3,)
+
+    def test_epoch_increments_per_round(self):
+        det = FailureDetector(4)
+        assert det.decide((RankFailureEvidence(1, "crash"),)).epoch == 1
+        assert det.decide((RankFailureEvidence(2, "crash"),)).epoch == 2
+
+
+class TestDeterministicTimeline:
+    """Satellite: all detector timeouts are logical and seed-deterministic."""
+
+    EVIDENCE = (RankFailureEvidence(1, "node-loss", t=2.34e-3),)
+
+    def test_same_seed_same_decision(self):
+        a = FailureDetector(8, MembershipConfig(seed=5)).decide(self.EVIDENCE)
+        b = FailureDetector(8, MembershipConfig(seed=5)).decide(self.EVIDENCE)
+        assert a == b
+
+    def test_different_seed_different_jitter(self):
+        a = FailureDetector(8, MembershipConfig(seed=5)).decide(self.EVIDENCE)
+        b = FailureDetector(8, MembershipConfig(seed=6)).decide(self.EVIDENCE)
+        assert a.declared_at != b.declared_at
+
+    def test_suspicion_after_death_and_quorum_ordering(self):
+        cfg = MembershipConfig(seed=0)
+        det = FailureDetector(8, cfg)
+        d = det.decide(self.EVIDENCE)
+        for lr, t in d.declared_at.items():
+            assert t > self.EVIDENCE[0].t
+        assert d.consensus_at > max(d.declared_at.values())
+        assert d.overhead > 0.0
+        # quorum: strictly more than half the 7 survivors by default
+        assert d.nsurvivors == 7
+        assert d.quorum_votes == 3
+
+    def test_suspicion_timeout_bounds(self):
+        cfg = MembershipConfig()
+        det = FailureDetector(4, cfg)
+        t_fail = 7.7e-4
+        lo = cfg.suspicion_multiplier * cfg.heartbeat_period
+        hi = lo * (1.0 + cfg.suspicion_jitter)
+        for obs in (0, 2, 3):
+            t = det.suspicion_time(obs, 1, t_fail)
+            last_beat = (t_fail // cfg.heartbeat_period) * cfg.heartbeat_period
+            assert last_beat + lo <= t <= last_beat + hi
+
+    def test_detection_is_charged_not_slept(self):
+        """The detection round must consume zero wall-clock sleeps even
+        though it charges milliseconds of logical suspicion time."""
+        det = FailureDetector(64, MembershipConfig(), MachineModel())
+        start = time.monotonic()
+        d = det.decide(self.EVIDENCE)
+        assert time.monotonic() - start < 0.5
+        assert d.overhead > det.config.heartbeat_period  # logical, charged
+
+
+class TestSparePoolAndShrinkMap:
+    def test_spare_pool_adopts_in_order(self):
+        pool = SparePool(size=2)
+        assert pool.available == 2
+        assert pool.adopt(3) == 0
+        assert pool.adopt(1) == 1
+        assert pool.available == 0
+        with pytest.raises(RankLossUnrecoverable):
+            pool.adopt(2)
+
+    def test_shrink_map_is_dense_and_order_preserving(self):
+        m = shrink_map(6, (1, 4))
+        assert m == {0: 0, 2: 1, 3: 2, 5: 3}
+        assert sorted(m.values()) == list(range(4))
+
+    def test_shrink_map_rejects_losing_everyone(self):
+        with pytest.raises(ValueError):
+            shrink_map(2, (0, 1))
+
+
+class TestMembershipView:
+    def test_spare_rebuild_keeps_size(self):
+        view = MembershipView(4, spares=2)
+        plan = view.rebuild((2,), "spare")
+        assert plan.kind == "spare"
+        assert plan.new_size == 4
+        assert plan.adopted == {2: 0}
+        assert view.nranks == 4
+        assert view.epoch == 1
+
+    def test_spare_pool_dry_falls_back_to_shrink(self):
+        view = MembershipView(4, spares=1)
+        assert view.rebuild((1,), "spare").kind == "spare"
+        fallback = view.rebuild((2,), "spare")
+        assert fallback.kind == "shrink"
+        assert fallback.new_size == 3
+        assert view.nranks == 3
+
+    def test_shrink_rebuild_renumbers_survivors(self):
+        view = MembershipView(5)
+        plan = view.rebuild((0, 3), "shrink")
+        assert plan.kind == "shrink"
+        assert plan.new_size == 3
+        assert plan.rank_map == {1: 0, 2: 1, 4: 2}
+        assert view.nranks == 3
+
+    def test_losing_all_ranks_is_unrecoverable(self):
+        view = MembershipView(2)
+        with pytest.raises(RankLossUnrecoverable):
+            view.rebuild((0, 1), "shrink")

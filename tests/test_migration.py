@@ -1,0 +1,129 @@
+"""Re-decomposition planning and live block migration."""
+import numpy as np
+import pytest
+
+from repro.core.buddy import buddy_of
+from repro.core.migrate import migrate_state
+from repro.grid.decomposition import (
+    plan_migration,
+    redecompose,
+    xy_decomposition,
+    yz_decomposition,
+)
+from repro.simmpi.membership import MembershipView
+from repro.state.variables import ModelState
+
+NX, NY, NZ = 16, 32, 6
+
+
+@pytest.fixture(scope="module")
+def state():
+    rng = np.random.default_rng(42)
+    return ModelState(
+        U=rng.standard_normal((NZ, NY, NX)),
+        V=rng.standard_normal((NZ, NY, NX)),
+        Phi=rng.standard_normal((NZ, NY, NX)),
+        psa=rng.standard_normal((NY, NX)),
+    )
+
+
+class TestRedecompose:
+    def test_yz_family_is_preserved(self):
+        old = yz_decomposition(NX, NY, NZ, 4)
+        new = redecompose(old, 3)
+        assert new.kind == old.kind
+        assert new.nranks == 3
+        assert (new.nx, new.ny, new.nz) == (old.nx, old.ny, old.nz)
+
+    def test_xy_family_is_preserved(self):
+        old = xy_decomposition(NX, NY, NZ, 4)
+        assert redecompose(old, 2).kind == old.kind
+
+    def test_shrink_to_one_rank_is_serial(self):
+        old = yz_decomposition(NX, NY, NZ, 4)
+        assert redecompose(old, 1).nranks == 1
+
+
+class TestPlanMigration:
+    @pytest.mark.parametrize("old_n,new_n", [(4, 3), (4, 4), (3, 4), (5, 2)])
+    def test_plan_covers_every_cell_exactly_once(self, old_n, new_n):
+        old = yz_decomposition(NX, NY, NZ, old_n)
+        new = redecompose(old, new_n)
+        transfers = plan_migration(old, new)
+        assert sum(t.region.cells for t in transfers) == NX * NY * NZ
+        # every region lies inside both its old and its new owner's block
+        for t in transfers:
+            assert t.region.overlap(old.extent(t.old_owner)) == t.region
+            assert t.region.overlap(new.extent(t.new_owner)) == t.region
+
+    def test_plan_is_canonically_ordered(self):
+        old = yz_decomposition(NX, NY, NZ, 4)
+        new = redecompose(old, 3)
+        transfers = plan_migration(old, new)
+        keys = [(t.new_owner, t.old_owner) for t in transfers]
+        assert keys == sorted(keys)
+
+    def test_identity_plan_has_no_cross_owner_moves(self):
+        d = yz_decomposition(NX, NY, NZ, 4)
+        assert all(
+            t.old_owner == t.new_owner for t in plan_migration(d, d)
+        )
+
+    def test_mismatched_meshes_rejected(self):
+        old = yz_decomposition(NX, NY, NZ, 4)
+        other = yz_decomposition(NX, NY, NZ * 2, 4)
+        with pytest.raises(ValueError):
+            plan_migration(old, other)
+
+
+class TestMigrateState:
+    def test_shrink_migration_is_bit_identical(self, state):
+        old = yz_decomposition(NX, NY, NZ, 4)
+        plan = MembershipView(4).rebuild((1,), "shrink")
+        new = redecompose(old, plan.new_size)
+        carrier = {
+            o: plan.rank_map[buddy_of(o, 4) if o == 1 else o]
+            for o in range(4)
+        }
+        migrated, rep = migrate_state(state, old, new, carrier)
+        assert migrated.max_difference(state) == 0.0
+        assert rep.makespan > 0.0
+        assert rep.p2p_messages > 0
+        assert rep.moved_cells > 0
+
+    def test_spare_migration_moves_only_the_lost_block(self, state):
+        old = yz_decomposition(NX, NY, NZ, 4)
+        carrier = {o: (buddy_of(o, 4) if o == 2 else o) for o in range(4)}
+        migrated, rep = migrate_state(state, old, old, carrier)
+        assert migrated.max_difference(state) == 0.0
+        assert rep.nmoves == 1
+        assert rep.moved_cells == old.extent(2).cells
+
+    def test_root_scatter_after_disk_rollback(self, state):
+        old = yz_decomposition(NX, NY, NZ, 4)
+        new = redecompose(old, 2)
+        carrier = {o: 0 for o in range(4)}
+        migrated, rep = migrate_state(state, old, new, carrier)
+        assert migrated.max_difference(state) == 0.0
+        assert rep.p2p_messages > 0
+
+    def test_migration_is_deterministic(self, state):
+        old = yz_decomposition(NX, NY, NZ, 5)
+        new = redecompose(old, 3)
+        carrier = {o: o % 3 for o in range(5)}
+        a = migrate_state(state, old, new, carrier)
+        b = migrate_state(state, old, new, carrier)
+        assert a[0].max_difference(b[0]) == 0.0
+        assert a[1].makespan == b[1].makespan
+        assert a[1].p2p_bytes == b[1].p2p_bytes
+
+    def test_missing_carrier_rejected(self, state):
+        old = yz_decomposition(NX, NY, NZ, 4)
+        with pytest.raises(ValueError, match="no carrier"):
+            migrate_state(state, old, old, {0: 0, 1: 1, 2: 2})
+
+    def test_out_of_world_carrier_rejected(self, state):
+        old = yz_decomposition(NX, NY, NZ, 4)
+        new = redecompose(old, 2)
+        with pytest.raises(ValueError, match="outside the new world"):
+            migrate_state(state, old, new, {o: 3 for o in range(4)})

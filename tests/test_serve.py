@@ -107,6 +107,39 @@ class TestFailureMatrix:
             assert elapsed < 60.0
             assert srv.counter_value("serve_watchdog_kills_total") == 1
 
+    def test_rankloss_job_heals_in_place_without_a_retry(self, tmp_path):
+        """A permanent simulated-rank loss is healed by the elastic tier
+        INSIDE the running attempt: the job completes on the shrunken
+        layout, no worker retry is consumed, and no shm segments leak."""
+        from repro.simmpi.shm import live_segment_names
+
+        with small_server(tmp_path) as srv:
+            spec = JobSpec(
+                name="rankloss", algorithm="original-yz",
+                nx=32, ny=16, nz=8, nsteps=4, nprocs=4,
+                m_iterations=1, checkpoint_interval=2,
+                rank_loss_policy="shrink",
+                chaos={"kind": "rankloss", "rank": 1, "at_call": 30},
+            )
+            r = srv.submit(spec).result(timeout=WAIT)
+            assert r.ok
+            assert r.attempts == 1          # no worker retry consumed
+            assert r.rank_losses == 1
+            assert r.membership_epoch == 1
+            assert r.final_nranks == 3      # finished on the survivors
+            assert r.restarts >= 1          # ...via one in-job recovery
+            assert srv.counter_value(
+                "serve_retries_total", reason="WorkerCrash"
+            ) == 0
+        assert live_segment_names() == []
+
+    def test_rankloss_spec_requires_distributed_job(self):
+        with pytest.raises(ValueError, match="nprocs >= 2"):
+            JobSpec(name="bad", nprocs=1,
+                    chaos={"kind": "rankloss", "rank": 1})
+        with pytest.raises(ValueError, match="rank_loss_policy"):
+            JobSpec(name="bad2", rank_loss_policy="panic")
+
     def test_queue_full_sheds_with_typed_error(self, tmp_path):
         with small_server(tmp_path, max_queue=1) as srv:
             specs = [
