@@ -141,16 +141,55 @@ def condense(report: dict, source: str) -> dict:
     }
 
 
-def load_history(path: Path | None, baseline: Path | None) -> dict:
-    """The prior trajectory, or one seeded from the committed baseline."""
-    if path is not None and path.exists():
-        history = json.loads(path.read_text())
-        if history.get("trajectory_schema") != TRAJECTORY_SCHEMA:
-            raise ValueError(
-                f"trajectory schema {history.get('trajectory_schema')!r} "
-                f"unsupported (expected {TRAJECTORY_SCHEMA})"
+def valid_history(history) -> bool:
+    """Structural check of a parsed trajectory file.
+
+    Guards every shape ``detect_anomalies`` dereferences, so a truncated
+    artifact or a schema bump can only ever reseed — never crash CI.
+    """
+    return (
+        isinstance(history, dict)
+        and history.get("trajectory_schema") == TRAJECTORY_SCHEMA
+        and isinstance(history.get("entries"), list)
+        and all(
+            isinstance(e, dict)
+            and isinstance(e.get("cases"), dict)
+            and all(
+                isinstance(rec, dict) and "steps_per_sec" in rec
+                for rec in e["cases"].values()
             )
-        return history
+            for e in history["entries"]
+        )
+    )
+
+
+def load_history(path: Path | None, baseline: Path | None) -> dict:
+    """The prior trajectory, or one seeded from the committed baseline.
+
+    A corrupt, truncated or schema-mismatched history file (the artifact
+    survives CI runs and tooling upgrades, so both happen) is *not* an
+    error: it is reported on stderr and the history reseeds from the
+    committed baseline, exactly as if no previous artifact existed.
+    """
+    if path is not None and path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            print(
+                f"warning: trajectory history {path} is unreadable "
+                f"({exc}); reseeding from the committed baseline",
+                file=sys.stderr,
+            )
+        else:
+            if valid_history(history):
+                return history
+            print(
+                f"warning: trajectory history {path} has an unsupported "
+                f"schema or shape (expected trajectory_schema="
+                f"{TRAJECTORY_SCHEMA} with list entries); reseeding from "
+                "the committed baseline",
+                file=sys.stderr,
+            )
     entries = []
     if baseline is not None and baseline.exists():
         entries.append(condense(load_report(baseline), source="baseline"))

@@ -277,6 +277,14 @@ def ca_rank_program(
 ) -> RankResult:
     """Algorithm 2 on one rank.  Same contract as
     :func:`repro.core.distributed.original_rank_program`."""
+    if (
+        cfg.executor == "taskgraph"
+        and cfg.use_workspace
+        and cfg.decomp.pz == 1
+    ):
+        from repro.core.taskgraph.ca import ca_rank_program_taskgraph
+
+        return ca_rank_program_taskgraph(comm, cfg, initial)
     ctx = CommAvoidingRank(comm, cfg)
     params = cfg.params
     dt1, dt2, M = params.dt_adaptation, params.dt_advection, params.m_iterations

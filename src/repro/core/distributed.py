@@ -80,12 +80,22 @@ class DistributedConfig:
     #: record per-step physics-telemetry partials (local sums/maxes only —
     #: no extra communication; the driver combines them after the run)
     telemetry: bool = False
+    #: step executor: ``"sync"`` (bulk-synchronous reference) or
+    #: ``"taskgraph"`` (per-rank DAG executor with real comm/compute
+    #: overlap; bit-identical trajectories, needs ``use_workspace``;
+    #: decompositions it cannot overlap fall back to the sync path)
+    executor: str = "sync"
+    #: seed for the executor's poll-interleaving fuzzer (tests only;
+    #: ``None`` polls deterministically once per task)
+    taskgraph_fuzz_seed: int | None = None
 
     def validate_c_method(self) -> None:
         if self.c_method not in ("allgather", "scan"):
             raise ValueError(f"unknown c_method {self.c_method!r}")
         if self.filter_method not in ("allgather", "transpose"):
             raise ValueError(f"unknown filter_method {self.filter_method!r}")
+        if self.executor not in ("sync", "taskgraph"):
+            raise ValueError(f"unknown executor {self.executor!r}")
 
     def __post_init__(self) -> None:
         if self.sigma is None:
@@ -501,6 +511,8 @@ class RankResult:
     telemetry: list[tuple[int, dict]] | None = None
     #: workspace pool counters of this rank (``cfg.use_workspace`` only)
     ws_counters: dict | None = None
+    #: task-graph executor metrics (``cfg.executor == "taskgraph"`` only)
+    overlap: dict | None = None
 
 
 def _update(
@@ -526,6 +538,18 @@ def original_rank_program(
     ``cfg.nsteps`` steps plus communication counters.
     """
     decomp = cfg.decomp
+    if (
+        cfg.executor == "taskgraph"
+        and cfg.use_workspace
+        and decomp.px == 1
+        and decomp.pz == 1
+    ):
+        # x- or z-decomposed runs have no overlap-safe split (the polar
+        # filter is collective / the z halo refreshes mid-stencil rows):
+        # they keep the synchronous schedule below
+        from repro.core.taskgraph.original import original_rank_program_taskgraph
+
+        return original_rank_program_taskgraph(comm, cfg, initial)
     gy = 2
     gz = 1 if decomp.pz > 1 else 0
     gx = 2 if decomp.px > 1 else 0

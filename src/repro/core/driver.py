@@ -23,7 +23,11 @@ from repro.core.comm_avoiding import ca_rank_program
 from repro.core.distributed import DistributedConfig, original_rank_program
 from repro.core.integrator import SerialCore
 from repro.obs.config import ObsConfig, Observation
-from repro.obs.metrics import absorb_comm_stats, absorb_workspace_counters
+from repro.obs.metrics import (
+    absorb_comm_stats,
+    absorb_overlap_metrics,
+    absorb_workspace_counters,
+)
 from repro.obs.spans import active_tracer, set_active
 from repro.grid.decomposition import (
     Decomposition,
@@ -60,6 +64,11 @@ class StepDiagnostics:
     exchanges: int = 0
     #: failed wire attempts healed by the reliable transport (sum over ranks)
     retransmits: int = 0
+    #: wall seconds of compute executed inside open comm windows, summed
+    #: over ranks (taskgraph executor only; 0.0 under the sync executor)
+    overlap_seconds: float = 0.0
+    #: post->wait communication windows opened (sum over ranks)
+    overlap_windows: int = 0
 
     @property
     def comm_time(self) -> float:
@@ -83,6 +92,8 @@ class StepDiagnostics:
         self.c_calls += other.c_calls
         self.exchanges += other.exchanges
         self.retransmits += other.retransmits
+        self.overlap_seconds += other.overlap_seconds
+        self.overlap_windows += other.overlap_windows
 
 
 def default_spmd_timeout(nsteps: int) -> float:
@@ -119,6 +130,11 @@ class CoreConfig:
     #: fused-kernel backend (``"auto"``/``"c"``/``"numba"``/``"numpy"``).
     #: Env override: ``REPRO_KERNEL_BACKEND``.
     kernel_backend: str | None = None
+    #: per-rank step executor: ``"sync"`` (the literal loop) or
+    #: ``"taskgraph"`` (DAG executor overlapping compute with halo/bundle
+    #: exchanges; bit-identical trajectories).  Env override:
+    #: ``REPRO_EXECUTOR``.
+    executor: str | None = None
     #: SPMD execution backend: ``"thread"`` (default; deterministic fault
     #: injection) or ``"process"`` (one OS process per rank over
     #: shared-memory rings — true multicore, bit-identical numerics).
@@ -163,6 +179,13 @@ class CoreConfig:
             raise ValueError(
                 f"unknown kernel_backend {self.kernel_backend!r}; "
                 f"pick from {BACKENDS}"
+            )
+        if self.executor is None:
+            self.executor = os.environ.get("REPRO_EXECUTOR", "sync")
+        if self.executor not in ("sync", "taskgraph"):
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                "pick 'sync' or 'taskgraph'"
             )
         self.observe = ObsConfig.coerce(self.observe)
 
@@ -388,6 +411,7 @@ class DynamicalCore:
             kernel_tier=cfg.kernel_tier,
             kernel_backend=cfg.kernel_backend,
             telemetry=want_telemetry,
+            executor=cfg.executor,
         )
         program = (
             ca_rank_program if cfg.algorithm == "ca" else original_rank_program
@@ -446,6 +470,16 @@ class DynamicalCore:
             c_calls=result.results[0].c_calls,
             exchanges=result.results[0].exchanges,
             retransmits=sum(s.retransmits for s in result.stats),
+            overlap_seconds=sum(
+                r.overlap["overlap_seconds"]
+                for r in result.results
+                if r.overlap is not None
+            ),
+            overlap_windows=sum(
+                r.overlap["windows"]
+                for r in result.results
+                if r.overlap is not None
+            ),
         )
         if obs is not None:
             self._absorb_distributed(obs, result, step0)
@@ -472,5 +506,7 @@ class DynamicalCore:
                     absorb_workspace_counters(
                         obs.registry, r.ws_counters, rank
                     )
+                if r.overlap is not None:
+                    absorb_overlap_metrics(obs.registry, r.overlap, rank)
         if obs.config.logical_trace and result.traces:
             obs.logical_traces.extend(result.traces)

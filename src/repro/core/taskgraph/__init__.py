@@ -1,0 +1,285 @@
+"""Per-rank task-graph executor: real communication/compute overlap.
+
+The synchronous rank programs are bulk-synchronous per exchange: post the
+halo sends/receives, *charge* the modeled inner-block compute, then block
+in ``wait`` — the overlap of Sec. 4.3.1 exists only in the logical-clock
+model.  This package restructures each step into an explicit task DAG
+(pack/post -> inner update -> unpack/wait -> boundary update) and executes
+it so the inner-block numpy work genuinely runs while the halo is on the
+wire, following the latency-tolerance task-graph transformations of
+Eijkhout (arXiv 1811.05077) as realised for communication-avoiding
+stencils by Charrier et al. (arXiv 1801.08682).
+
+Determinism contract
+--------------------
+The executor runs tasks in a *fixed* topological order: the numerics and
+every logically-effectful communication completion happen in canonical
+program order on every run.  What is adaptive is purely physical:
+between tasks the executor polls in-flight requests with
+:meth:`repro.simmpi.comm.Request.test`, which claims arrived payloads
+(draining shared-memory rings early, so senders never stall on a full
+link) but applies **no** logical effects — no clock merge, no stats, no
+fault-hook tick.  When a wait task is reached, any still-unclaimed
+requests are claimed via ``Comm.waitany`` (also effect-free), and only
+then does the task body call ``wait()`` on each request in canonical
+order.  Consequence: trajectories *and* logical clocks are bit-identical
+under arbitrary poll interleavings — the invariant the resilience stack
+(fault schedules keyed to comm-call counts, replay, recovery) assumes,
+and the one :mod:`tests.test_taskgraph` fuzzes.
+"""
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.obs.spans import span as obs_span
+
+__all__ = [
+    "CommToken",
+    "ExecutorMetrics",
+    "GraphExecutor",
+    "Task",
+    "TaskGraph",
+]
+
+
+@dataclass
+class CommToken:
+    """In-flight communication window: posted requests plus accounting."""
+
+    name: str
+    requests: list = field(default_factory=list)
+    t_posted: float = 0.0
+    #: wall seconds of compute tasks executed while this window was open
+    overlap_s: float = 0.0
+    early_claims: int = 0
+
+    def unclaimed(self) -> list:
+        return [r for r in self.requests if not (r._done or r._claimed)]
+
+
+class Task:
+    """One node of the per-step DAG.
+
+    ``kind`` is ``"compute"`` (pure numpy work), ``"post"`` (returns the
+    list of receive requests it posted; opens ``token``) or ``"wait"``
+    (applies the logical completions of ``token`` and unpacks).
+    ``deps`` are indices of earlier tasks; list order is the execution
+    order, so deps serve as builder validation and ready-depth metrics,
+    not as a scheduler input.
+    """
+
+    __slots__ = ("name", "fn", "deps", "kind", "token")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[], object],
+        deps: Sequence[int] = (),
+        kind: str = "compute",
+        token: CommToken | None = None,
+    ) -> None:
+        if kind not in ("compute", "post", "wait"):
+            raise ValueError(f"unknown task kind {kind!r}")
+        if kind in ("post", "wait") and token is None:
+            raise ValueError(f"{kind} task {name!r} needs a CommToken")
+        self.name = name
+        self.fn = fn
+        self.deps = tuple(deps)
+        self.kind = kind
+        self.token = token
+
+
+class TaskGraph:
+    """Builder for one step's task list (topologically ordered)."""
+
+    def __init__(self) -> None:
+        self.tasks: list[Task] = []
+
+    def add(
+        self,
+        name: str,
+        fn: Callable[[], object],
+        deps: Sequence[int] = (),
+        kind: str = "compute",
+        token: CommToken | None = None,
+    ) -> int:
+        idx = len(self.tasks)
+        for d in deps:
+            if not (0 <= d < idx):
+                raise ValueError(
+                    f"task {name!r} depends on {d}, which is not an "
+                    f"earlier task (have {idx})"
+                )
+        self.tasks.append(Task(name, fn, deps, kind, token))
+        return idx
+
+    def post(
+        self, name: str, fn: Callable[[], list], deps: Sequence[int] = ()
+    ) -> tuple[int, CommToken]:
+        """Add a post task; ``fn`` must return the receive requests."""
+        token = CommToken(name=name)
+        idx = self.add(name, fn, deps, kind="post", token=token)
+        return idx, token
+
+    def wait(
+        self,
+        name: str,
+        token: CommToken,
+        fn: Callable[[], object],
+        deps: Sequence[int] = (),
+    ) -> int:
+        return self.add(name, fn, deps, kind="wait", token=token)
+
+
+@dataclass
+class ExecutorMetrics:
+    """Accumulated over every graph one rank executes."""
+
+    tasks: int = 0
+    windows: int = 0
+    #: wall seconds of compute executed inside open send->wait windows
+    overlap_seconds: float = 0.0
+    #: wall seconds the windows were open (post end -> wait start)
+    window_seconds: float = 0.0
+    #: wall seconds actually blocked claiming outstanding requests
+    blocked_seconds: float = 0.0
+    #: requests claimed by polling before their wait task ran
+    early_claims: int = 0
+    poll_sweeps: int = 0
+    max_ready_depth: int = 0
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of the open-window time covered by real compute."""
+        if self.window_seconds <= 0.0:
+            return 0.0
+        return min(1.0, self.overlap_seconds / self.window_seconds)
+
+    def as_dict(self) -> dict:
+        return {
+            "tasks": self.tasks,
+            "windows": self.windows,
+            "overlap_seconds": self.overlap_seconds,
+            "window_seconds": self.window_seconds,
+            "blocked_seconds": self.blocked_seconds,
+            "early_claims": self.early_claims,
+            "poll_sweeps": self.poll_sweeps,
+            "max_ready_depth": self.max_ready_depth,
+            "overlap_fraction": self.overlap_fraction,
+        }
+
+
+class GraphExecutor:
+    """Executes task graphs for one rank.
+
+    ``fuzz`` seeds a :class:`random.Random` that perturbs *polling only*
+    (how often ``test`` sweeps run and in which token order) — used by the
+    determinism tests to show poll interleavings cannot reach the
+    numerics or the logical clocks.
+    """
+
+    def __init__(self, comm, fuzz: int | None = None) -> None:
+        self.comm = comm
+        self.metrics = ExecutorMetrics()
+        self._rng = random.Random(fuzz) if fuzz is not None else None
+
+    # ---- polling (physical only; no logical effects) ---------------------
+    def _poll(self, in_flight: list[CommToken]) -> None:
+        tokens = [t for t in in_flight if t.unclaimed()]
+        if not tokens:
+            return
+        sweeps = 1
+        if self._rng is not None:
+            sweeps = self._rng.randint(0, 2)
+            self._rng.shuffle(tokens)
+        for _ in range(sweeps):
+            self.metrics.poll_sweeps += 1
+            for token in tokens:
+                for req in token.unclaimed():
+                    if req.test():
+                        token.early_claims += 1
+                        self.metrics.early_claims += 1
+
+    def _claim_all(self, token: CommToken) -> None:
+        """Block (effect-free) until every request of ``token`` is claimed."""
+        while True:
+            pending = token.unclaimed()
+            if not pending:
+                return
+            # claims at least the returned request; loop until all claimed
+            self.comm.waitany(pending)
+
+    # ---- execution -------------------------------------------------------
+    def run(self, graph: TaskGraph) -> None:
+        tasks = graph.tasks
+        m = self.metrics
+        # incremental ready-set tracking (metrics + builder validation)
+        remaining = [len(t.deps) for t in tasks]
+        dependents: list[list[int]] = [[] for _ in tasks]
+        for i, t in enumerate(tasks):
+            for d in t.deps:
+                dependents[d].append(i)
+        ready = sum(1 for r in remaining if r == 0)
+        done = [False] * len(tasks)
+
+        in_flight: list[CommToken] = []
+        for i, task in enumerate(tasks):
+            if any(not done[d] for d in task.deps):  # pragma: no cover
+                raise RuntimeError(
+                    f"task {task.name!r} ran before its dependencies — "
+                    "builder emitted a non-topological order"
+                )
+            m.max_ready_depth = max(m.max_ready_depth, ready)
+            self._poll(in_flight)
+            cat = "taskgraph" if task.kind == "compute" else "taskgraph-comm"
+            if task.kind == "post":
+                with obs_span(f"tg:{task.name}", cat, args={"ready": ready}):
+                    reqs = task.fn() or []
+                task.token.requests = list(reqs)
+                task.token.t_posted = time.perf_counter()
+                in_flight.append(task.token)
+            elif task.kind == "wait":
+                token = task.token
+                t_wait = time.perf_counter()
+                window = max(0.0, t_wait - token.t_posted)
+                claimed_early = not token.unclaimed()
+                with obs_span(
+                    f"tg:{task.name}", cat,
+                    args={
+                        "ready": ready,
+                        "window_s": round(window, 9),
+                        "overlap_s": round(min(token.overlap_s, window), 9),
+                        "claimed_early": claimed_early,
+                    },
+                ):
+                    self._claim_all(token)
+                    t_claimed = time.perf_counter()
+                    task.fn()
+                m.windows += 1
+                m.window_seconds += window
+                m.overlap_seconds += min(token.overlap_s, window)
+                m.blocked_seconds += max(0.0, t_claimed - t_wait)
+                if token in in_flight:
+                    in_flight.remove(token)
+            else:
+                t0 = time.perf_counter()
+                with obs_span(f"tg:{task.name}", cat, args={"ready": ready}):
+                    task.fn()
+                dur = time.perf_counter() - t0
+                for token in in_flight:
+                    token.overlap_s += dur
+            m.tasks += 1
+            done[i] = True
+            ready -= 1
+            for j in dependents[i]:
+                remaining[j] -= 1
+                if remaining[j] == 0:
+                    ready += 1
+        if in_flight:  # pragma: no cover
+            raise RuntimeError(
+                "graph ended with open communication windows: "
+                + ", ".join(t.name for t in in_flight)
+            )

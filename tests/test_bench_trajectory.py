@@ -1,0 +1,143 @@
+"""Robustness of the CI bench-trajectory maintainer.
+
+The trajectory artifact survives CI runs, runner migrations, and tooling
+upgrades — so a corrupt, truncated, or schema-mismatched history file is
+an expected input, not an error: the script must warn and reseed from
+the committed baseline instead of crashing the bench job.
+"""
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.wallclock import SCHEMA_VERSION
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_trajectory",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "trajectory.py",
+)
+trajectory = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(trajectory)
+
+
+def make_report(steps_per_sec=10.0) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "quick": True,
+        "machine": {"git_sha": "abc1234", "hostname": "ci", "cpu_count": 4},
+        "cases": [
+            {
+                "kind": "serial_step",
+                "mesh": "small",
+                "steps_per_sec": steps_per_sec,
+            }
+        ],
+    }
+
+
+@pytest.fixture()
+def report(tmp_path):
+    p = tmp_path / "BENCH_fresh.json"
+    p.write_text(json.dumps(make_report()))
+    return p
+
+
+@pytest.fixture()
+def baseline(tmp_path):
+    p = tmp_path / "BENCH_baseline.json"
+    p.write_text(json.dumps(make_report(steps_per_sec=9.0)))
+    return p
+
+
+def run_main(report, history, baseline, out):
+    return trajectory.main(
+        [
+            "--report", str(report),
+            "--history", str(history),
+            "--baseline", str(baseline),
+            "--out", str(out),
+        ]
+    )
+
+
+class TestValidHistory:
+    def test_appends_to_good_history(self, tmp_path, report, baseline):
+        history = tmp_path / "hist.json"
+        history.write_text(json.dumps({
+            "trajectory_schema": trajectory.TRAJECTORY_SCHEMA,
+            "entries": [
+                {"source": "ci", "cases": {"k": {"steps_per_sec": 1.0}}}
+            ],
+        }))
+        out = tmp_path / "out.json"
+        assert run_main(report, history, baseline, out) == 0
+        got = json.loads(out.read_text())
+        assert len(got["entries"]) == 2
+        assert got["entries"][0]["source"] == "ci"  # prior entry kept
+
+    def test_missing_history_seeds_from_baseline(
+        self, tmp_path, report, baseline
+    ):
+        out = tmp_path / "out.json"
+        assert run_main(report, tmp_path / "nope.json", baseline, out) == 0
+        got = json.loads(out.read_text())
+        assert [e["source"] for e in got["entries"]] == ["baseline", "ci"]
+
+
+class TestCorruptHistory:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "{ not json at all",
+            '{"trajectory_schema": 999, "entries": []}',
+            '{"trajectory_schema": 1, "entries": "oops"}',
+            '{"trajectory_schema": 1}',
+            '{"trajectory_schema": 1, "entries": [{"cases": 3}]}',
+            '{"trajectory_schema": 1, "entries": [{"cases": '
+            '{"k": {"wrong": 1}}}]}',
+            "[1, 2, 3]",
+        ],
+        ids=[
+            "truncated-json", "schema-bump", "entries-not-list",
+            "entries-missing", "cases-not-dict", "record-missing-rate",
+            "not-an-object",
+        ],
+    )
+    def test_reseeds_and_warns_instead_of_crashing(
+        self, tmp_path, report, baseline, payload, capsys
+    ):
+        history = tmp_path / "hist.json"
+        history.write_text(payload)
+        out = tmp_path / "out.json"
+        assert run_main(report, history, baseline, out) == 0
+        assert "reseeding from the committed baseline" in capsys.readouterr().err
+        got = json.loads(out.read_text())
+        assert got["trajectory_schema"] == trajectory.TRAJECTORY_SCHEMA
+        assert [e["source"] for e in got["entries"]] == ["baseline", "ci"]
+
+    def test_corrupt_history_without_baseline_starts_fresh(
+        self, tmp_path, report, capsys
+    ):
+        history = tmp_path / "hist.json"
+        history.write_text("garbage")
+        out = tmp_path / "out.json"
+        code = trajectory.main(
+            ["--report", str(report), "--history", str(history),
+             "--out", str(out)]
+        )
+        assert code == 0
+        got = json.loads(out.read_text())
+        assert [e["source"] for e in got["entries"]] == ["ci"]
+
+
+class TestValidator:
+    def test_accepts_round_trip_of_own_output(self, tmp_path, report, baseline):
+        out = tmp_path / "out.json"
+        run_main(report, tmp_path / "none.json", baseline, out)
+        assert trajectory.valid_history(json.loads(out.read_text()))
+
+    def test_rejects_non_dict(self):
+        assert not trajectory.valid_history([])
+        assert not trajectory.valid_history(None)
+        assert not trajectory.valid_history("x")
